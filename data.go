@@ -1,0 +1,75 @@
+package auditgame
+
+import (
+	"auditgame/internal/credit"
+	"auditgame/internal/emr"
+	"auditgame/internal/tdmt"
+)
+
+// TDMT substrate re-exports: the rule engine and alert log a deployment
+// feeds the game from.
+type (
+	// AccessEvent is one database access presented to the TDMT.
+	AccessEvent = tdmt.AccessEvent
+	// Rule is a named alert predicate.
+	Rule = tdmt.Rule
+	// RuleEngine classifies events into alert types.
+	RuleEngine = tdmt.Engine
+	// AlertLog is the append-only alert store with per-type daily bins.
+	AlertLog = tdmt.Log
+	// LoggedAlert is one alert in the log.
+	LoggedAlert = tdmt.Alert
+)
+
+// NewRuleEngine builds a TDMT engine from rules in priority order; rule i
+// raises alert type i and the first match wins.
+func NewRuleEngine(rules []Rule) (*RuleEngine, error) { return tdmt.NewEngine(rules) }
+
+// NewAlertLog creates an empty alert log covering the given shape.
+func NewAlertLog(numTypes, days int) (*AlertLog, error) { return tdmt.NewLog(numTypes, days) }
+
+// ProcessEvents classifies events through the engine into a fresh log,
+// returning the log and the number of benign events.
+func ProcessEvents(e *RuleEngine, events []AccessEvent, days int) (*AlertLog, int, error) {
+	return tdmt.Process(e, events, days)
+}
+
+// EMR workload (the paper's Rea A scenario, synthesized).
+type (
+	// EMRConfig parameterizes the hospital access-log simulator.
+	EMRConfig = emr.Config
+	// EMRDataset is a simulated hospital audit workload.
+	EMRDataset = emr.Dataset
+	// EMRGameConfig parameterizes the attack-matrix sampling.
+	EMRGameConfig = emr.GameConfig
+)
+
+// SimulateEMR generates a synthetic hospital access workload whose
+// per-type daily alert counts match the paper's Table VIII.
+func SimulateEMR(cfg EMRConfig) (*EMRDataset, error) { return emr.Simulate(cfg) }
+
+// BuildEMRGame samples an employee×patient attack matrix from the dataset
+// and assembles the Rea A audit game.
+func BuildEMRGame(ds *EMRDataset, cfg EMRGameConfig) (*Game, error) {
+	return emr.BuildGame(ds, cfg)
+}
+
+// Credit workload (the paper's Rea B scenario, synthesized).
+type (
+	// CreditConfig parameterizes the application simulator.
+	CreditConfig = credit.Config
+	// CreditDataset is a simulated credit-application workload.
+	CreditDataset = credit.Dataset
+	// CreditGameConfig parameterizes the applicant sampling.
+	CreditGameConfig = credit.GameConfig
+)
+
+// SimulateCredit generates the 1000-application population with the
+// paper's Table IX alert rates and bootstrap audit periods.
+func SimulateCredit(cfg CreditConfig) (*CreditDataset, error) { return credit.Simulate(cfg) }
+
+// BuildCreditGame samples labelled applicants and assembles the Rea B
+// audit game over the eight application purposes.
+func BuildCreditGame(ds *CreditDataset, cfg CreditGameConfig) (*Game, error) {
+	return credit.BuildGame(ds, cfg)
+}

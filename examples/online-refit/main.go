@@ -1,0 +1,135 @@
+// Online refitting: operate an audit policy while the alert workload
+// drifts, re-solving the game from a sliding-window workload model every
+// week. Demonstrates the StreamEstimator plus the practical answer to the
+// paper's known-distribution assumption (§II-A): keep the model fresh.
+//
+//	go run ./examples/online-refit
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"auditgame"
+)
+
+const (
+	numTypes   = 3
+	window     = 14 // days of history the workload model remembers
+	refitEvery = 7  // re-solve cadence
+	horizon    = 56 // simulated days
+	budget     = 3.0
+)
+
+func main() {
+	r := rand.New(rand.NewSource(11))
+
+	// Ground-truth workload: means drift upward over time (e.g. the
+	// organization grows), which slowly invalidates any fitted model.
+	baseMeans := []float64{5, 4, 3}
+	truthAt := func(day int) []auditgame.Distribution {
+		growth := 1 + float64(day)/float64(horizon) // up to 2× by the end
+		ds := make([]auditgame.Distribution, numTypes)
+		for t := range ds {
+			ds[t] = auditgame.GaussianCounts(baseMeans[t]*growth, 1.5, 0.995)
+		}
+		return ds
+	}
+
+	estimators := make([]*auditgame.StreamEstimator, numTypes)
+	for t := range estimators {
+		var err error
+		if estimators[t], err = auditgame.NewStreamEstimator(window); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Warm-up: observe two weeks before the first solve.
+	day := 0
+	for ; day < window; day++ {
+		for t, d := range truthAt(day) {
+			estimators[t].Observe(d.Sample(r))
+		}
+	}
+
+	var pol *auditgame.Policy
+	solve := func(day int) {
+		g := buildGame(estimators)
+		in, err := auditgame.NewInstance(g, budget, auditgame.SourceOptions{Seed: int64(day)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := auditgame.SolveISHM(in, auditgame.ISHMConfig{Epsilon: 0.2, ExactInner: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pol = auditgame.PolicyFrom(g, budget, res.Policy)
+		fmt.Printf("day %2d: refit  loss=%7.3f  thresholds=%v  window means=%s\n",
+			day, res.Policy.Objective, res.Policy.Thresholds, meansOf(estimators))
+	}
+	solve(day)
+
+	for ; day < horizon; day++ {
+		// Observe today's counts and run the policy.
+		counts := make([]int, numTypes)
+		for t, d := range truthAt(day) {
+			counts[t] = d.Sample(r)
+			estimators[t].Observe(counts[t])
+		}
+		sel, err := pol.Select(counts, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if day%7 == 3 { // a mid-week peek at operations
+			fmt.Printf("day %2d: audit %d/%d alerts, spend %.0f/%.0f\n",
+				day, sel.Audited(), sum(counts), sel.Spent, pol.Budget)
+		}
+		if (day-window)%refitEvery == 0 && day > window {
+			solve(day)
+		}
+	}
+}
+
+// buildGame assembles a small insider-threat game from the current
+// workload snapshots.
+func buildGame(est []*auditgame.StreamEstimator) *auditgame.Game {
+	g := &auditgame.Game{
+		Entities:      []auditgame.Entity{{Name: "insider", PAttack: 0.5}},
+		Victims:       []string{"db-a", "db-b", "db-c"},
+		AllowNoAttack: true,
+	}
+	benefits := []float64{6, 7, 9}
+	var attacks []auditgame.Attack
+	for t := 0; t < numTypes; t++ {
+		d, err := est[t].SnapshotGaussian(0.995)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g.Types = append(g.Types, auditgame.AlertType{
+			Name: fmt.Sprintf("type-%d", t+1), Cost: 1, Dist: d,
+		})
+		attacks = append(attacks, auditgame.DeterministicAttack(numTypes, t, benefits[t], 10, 1))
+	}
+	g.Attacks = [][]auditgame.Attack{attacks}
+	return g
+}
+
+func meansOf(est []*auditgame.StreamEstimator) string {
+	s := "["
+	for t, e := range est {
+		if t > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.1f", e.Mean())
+	}
+	return s + "]"
+}
+
+func sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,91 @@
+// Daily operations: run a solved audit policy against a fresh day of TDMT
+// alerts. This is the recourse step the paper's model optimizes for — the
+// policy file is computed offline (see the other examples); each morning
+// the auditor samples a priority ordering and selects a random subset of
+// each bin within the thresholds.
+//
+//	go run ./examples/policy-daily
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"auditgame"
+)
+
+func main() {
+	// Offline: solve the synthetic game and package the policy.
+	g := auditgame.SynA()
+	const budget = 10.0
+	in, err := auditgame.NewInstance(g, budget, auditgame.SourceOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := auditgame.SolveISHM(in, auditgame.ISHMConfig{Epsilon: 0.1, ExactInner: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pol := auditgame.PolicyFrom(g, budget, res.Policy)
+	fmt.Printf("policy: loss %.3f, thresholds %v, %d orderings in support\n\n",
+		pol.ExpectedLoss, res.Policy.Thresholds, len(pol.Orderings))
+
+	// Online: a week of simulated alert traffic through a TDMT log.
+	const days = 5
+	logbook, err := auditgame.NewAlertLog(len(g.Types), days)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(99))
+	for day := 0; day < days; day++ {
+		for t, at := range g.Types {
+			n := at.Dist.Sample(r)
+			for i := 0; i < n; i++ {
+				if err := logbook.Append(auditgame.LoggedAlert{
+					Day: day, Type: t,
+					Actor:  fmt.Sprintf("emp%02d", r.Intn(20)),
+					Target: fmt.Sprintf("rec%02d", r.Intn(40)),
+				}); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
+	// Each day: read the bins, run the policy's selection step.
+	for day := 0; day < days; day++ {
+		counts, err := auditgame.CountsForDay(logbook, day)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sel, err := pol.Select(counts, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("day %d: bins %v, ordering %v\n", day+1, counts, onesBased(sel.Ordering))
+		fmt.Printf("        audit %d of %d alerts, spending %.0f of %.0f budget\n",
+			sel.Audited(), total(counts), sel.Spent, pol.Budget)
+		for t, chosen := range sel.Chosen {
+			if len(chosen) > 0 {
+				fmt.Printf("        %-8s -> alerts %v\n", g.Types[t].Name, chosen)
+			}
+		}
+	}
+}
+
+func onesBased(o []int) []int {
+	out := make([]int, len(o))
+	for i, t := range o {
+		out[i] = t + 1
+	}
+	return out
+}
+
+func total(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+package auditgame
+
+import (
+	"io"
+
+	"auditgame/internal/exp"
+)
+
+// Experiment re-exports: programmatic access to every table and figure of
+// the paper's evaluation, for callers that want the raw numbers rather
+// than the auditsim CLI's text rendering.
+type (
+	// Table3Row is one row of Table III (brute-force optimum).
+	Table3Row = exp.Table3Row
+	// GridResult is a Table IV/V-style (budget × ε) sweep.
+	GridResult = exp.GridResult
+	// Table7Result carries exploration counts plus the T/T′ vectors.
+	Table7Result = exp.Table7Result
+	// FigureResult is a set of loss-versus-budget curves.
+	FigureResult = exp.FigureResult
+	// FigOptions tunes the figure experiments.
+	FigOptions = exp.FigOptions
+	// SensitivityRow is one (penalty, p_e) point of the robustness
+	// sweep.
+	SensitivityRow = exp.SensitivityRow
+	// SensitivityConfig tunes the robustness sweep.
+	SensitivityConfig = exp.SensitivityConfig
+	// QuantalRow is one λ point of the bounded-rationality evaluation.
+	QuantalRow = exp.QuantalRow
+	// WorkloadShiftRow is one drift point of the workload-aging curve.
+	WorkloadShiftRow = exp.WorkloadShiftRow
+	// ValidationRow compares model, executed, and empirical detection
+	// probabilities for one attack.
+	ValidationRow = exp.ValidationRow
+	// ValidateConfig tunes the replay validation.
+	ValidateConfig = exp.ValidateConfig
+)
+
+// Paper parameter sweeps.
+var (
+	// PaperBudgetsSynA is the Table III–VII budget sweep.
+	PaperBudgetsSynA = exp.PaperBudgetsSynA
+	// PaperEpsilons is the Table IV–VI ε sweep.
+	PaperEpsilons = exp.PaperEpsilons
+	// PaperBudgetsFig1 is the Figure 1 budget sweep.
+	PaperBudgetsFig1 = exp.PaperBudgetsFig1
+	// PaperBudgetsFig2 is the Figure 2 budget sweep.
+	PaperBudgetsFig2 = exp.PaperBudgetsFig2
+)
+
+// Table3 computes the brute-force OAP optimum on Syn A per budget.
+func Table3(budgets []float64) ([]Table3Row, error) { return exp.Table3(budgets) }
+
+// Table4 runs ISHM with the exact inner LP across the (budget, ε) grid.
+func Table4(budgets, epsilons []float64) (*GridResult, error) { return exp.Table4(budgets, epsilons) }
+
+// Table5 runs ISHM with CGGS as the inner solver across the grid.
+func Table5(budgets, epsilons []float64) (*GridResult, error) { return exp.Table5(budgets, epsilons) }
+
+// Table6 computes the γ¹/γ² precision rows from the other tables.
+func Table6(t3 []Table3Row, t4, t5 *GridResult) (gamma1, gamma2 []float64, err error) {
+	return exp.Table6(t3, t4, t5)
+}
+
+// Table7 extracts exploration accounting and the T/T′ vectors.
+func Table7(t4 *GridResult, gridSize int) (*Table7Result, error) { return exp.Table7(t4, gridSize) }
+
+// Fig1 computes the Figure 1 loss curves on the EMR workload.
+func Fig1(budgets []float64, opts FigOptions) (*FigureResult, error) { return exp.Fig1(budgets, opts) }
+
+// Fig2 computes the Figure 2 loss curves on the credit workload.
+func Fig2(budgets []float64, opts FigOptions) (*FigureResult, error) { return exp.Fig2(budgets, opts) }
+
+// Sensitivity sweeps (penalty × p_e) on Syn A to test how robust the
+// proposed model's advantage over the baselines is (paper §VII, open
+// question 1).
+func Sensitivity(cfg SensitivityConfig) ([]SensitivityRow, error) { return exp.Sensitivity(cfg) }
+
+// QuantalRobustness evaluates the rational-adversary policy against
+// quantal-response adversaries across a λ grid (paper §VII, open
+// question 3).
+func QuantalRobustness(budget float64, lambdas []float64) ([]QuantalRow, error) {
+	return exp.QuantalRobustness(budget, lambdas)
+}
+
+// WorkloadShift compares a stale policy against a refit one as the alert
+// workload drifts (extends the known-distribution assumption of §II-A).
+func WorkloadShift(budget float64, scales []float64) ([]WorkloadShiftRow, error) {
+	return exp.WorkloadShift(budget, scales)
+}
+
+// Validate replays a solved policy end-to-end and compares empirical
+// detection frequency against the model's prediction, one attack per
+// alert type.
+func Validate(cfg ValidateConfig) ([]ValidationRow, error) { return exp.Validate(cfg) }
+
+// Printers matching the paper's presentation.
+
+// PrintTable3 renders Table III rows.
+func PrintTable3(w io.Writer, rows []Table3Row) { exp.PrintTable3(w, rows) }
+
+// PrintGrid renders a Table IV/V-style grid.
+func PrintGrid(w io.Writer, title string, g *GridResult) { exp.PrintGrid(w, title, g) }
+
+// PrintTable6 renders the γ precision rows.
+func PrintTable6(w io.Writer, epsilons, gamma1, gamma2 []float64) {
+	exp.PrintTable6(w, epsilons, gamma1, gamma2)
+}
+
+// PrintTable7 renders exploration counts and the T/T′ vectors.
+func PrintTable7(w io.Writer, r *Table7Result) { exp.PrintTable7(w, r) }
+
+// PrintFigure renders a figure's loss series.
+func PrintFigure(w io.Writer, title string, f *FigureResult) { exp.PrintFigure(w, title, f) }
+
+// PrintSensitivity renders the robustness sweep.
+func PrintSensitivity(w io.Writer, rows []SensitivityRow) { exp.PrintSensitivity(w, rows) }
+
+// PrintQuantal renders the bounded-rationality curve.
+func PrintQuantal(w io.Writer, budget float64, rows []QuantalRow) { exp.PrintQuantal(w, budget, rows) }
+
+// PrintWorkloadShift renders the workload-aging table.
+func PrintWorkloadShift(w io.Writer, budget float64, rows []WorkloadShiftRow) {
+	exp.PrintWorkloadShift(w, budget, rows)
+}
+
+// PrintValidation renders the replay-validation comparison.
+func PrintValidation(w io.Writer, cfg ValidateConfig, rows []ValidationRow) {
+	exp.PrintValidation(w, cfg, rows)
+}
+
+// PrintSynA renders the Syn A setup (paper Table II).
+func PrintSynA(w io.Writer) { exp.PrintSynA(w) }

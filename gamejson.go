@@ -1,0 +1,19 @@
+package auditgame
+
+import (
+	"io"
+
+	"auditgame/internal/dist"
+	"auditgame/internal/game"
+)
+
+// DistSpec is a serializable distribution description for the JSON game
+// format ("gaussian", "poisson", "empirical", "point").
+type DistSpec = dist.Spec
+
+// DecodeGameJSON reads a game description from a config file. The format
+// is documented by GameTemplateJSON.
+func DecodeGameJSON(r io.Reader) (*Game, error) { return game.DecodeJSON(r) }
+
+// GameTemplateJSON returns an editable example game description.
+func GameTemplateJSON() string { return game.TemplateJSON() }

@@ -1,0 +1,330 @@
+// Package credit synthesizes a credit-card-application auditing workload
+// that substitutes for the UCI Statlog (German Credit) dataset the paper
+// evaluates on (Rea B, §V-A). The model consumes three artifacts: the five
+// alert rules of Table IX over applicant attributes, per-period alert
+// count distributions whose means/stds match Table IX, and a 100×8
+// applicant×purpose attack matrix. The package builds a fixed population
+// of 1000 applications whose attribute combinations hit the Table IX rates
+// exactly, then simulates audit periods by bootstrap-resampling the
+// population — giving binomial per-period counts with the published
+// moments — and classifies everything through the TDMT rule engine.
+package credit
+
+import (
+	"fmt"
+	"math/rand"
+
+	"auditgame/internal/game"
+	"auditgame/internal/tdmt"
+)
+
+// Checking-account status values.
+const (
+	CheckingNone     = "none"     // no checking account
+	CheckingNegative = "negative" // balance < 0
+	CheckingPositive = "positive" // balance > 0
+)
+
+// Purposes are the eight application purposes that serve as the game's
+// victims (§V-A: "The 8 selected purposes of application are the
+// 'victims'").
+var Purposes = [8]string{
+	"new car", "used car", "education", "appliance",
+	"business", "repairs", "retraining", "furniture",
+}
+
+// Application is one credit-card application.
+type Application struct {
+	ID string
+	// Checking is the checking-account status (CheckingNone, …).
+	Checking string
+	// Unskilled marks the applicant as an unskilled worker.
+	Unskilled bool
+	// CriticalHistory marks a critical credit history / other credits.
+	CriticalHistory bool
+	// Purpose is the stated application purpose.
+	Purpose string
+}
+
+// TypeNames are the five alert types of Table IX.
+var TypeNames = [5]string{
+	"No checking account, any purpose",
+	"Checking < 0, new car or education",
+	"Checking > 0, unskilled, education",
+	"Checking > 0, unskilled, appliance",
+	"Checking > 0, critical account, business",
+}
+
+// TableIXMeans and TableIXStds are the published per-period alert count
+// moments (over periods of 1000 applications).
+var (
+	TableIXMeans = [5]float64{370.04, 82.42, 5.13, 28.21, 8.31}
+	TableIXStds  = [5]float64{15.81, 7.87, 2.08, 5.25, 2.96}
+)
+
+// typeCounts is the exact number of population applications matching each
+// rule: the Table IX means rounded to integers out of 1000. Bootstrap
+// resampling then reproduces the means (and binomial stds ≈ Table IX's).
+var typeCounts = [5]int{370, 82, 5, 28, 8}
+
+// Event converts an application into a TDMT access event: the applicant
+// "accesses" the purpose.
+func Event(day int, a Application) tdmt.AccessEvent {
+	return EventFor(day, a, a.Purpose)
+}
+
+// EventFor builds the event for applicant a applying under an arbitrary
+// purpose — the attack move in the game, where the adversary picks the
+// purpose.
+func EventFor(day int, a Application, purpose string) tdmt.AccessEvent {
+	unskilled, critical := "no", "no"
+	if a.Unskilled {
+		unskilled = "yes"
+	}
+	if a.CriticalHistory {
+		critical = "yes"
+	}
+	return tdmt.AccessEvent{
+		Day:    day,
+		Actor:  a.ID,
+		Target: purpose,
+		Attrs: map[string]string{
+			"checking":  a.Checking,
+			"unskilled": unskilled,
+			"critical":  critical,
+			"purpose":   purpose,
+		},
+	}
+}
+
+// Engine builds the Table IX rule engine. Rules are checked in order, so
+// "no checking account" dominates, matching the paper's single-type-per-
+// event model.
+func Engine() *tdmt.Engine {
+	rules := []tdmt.Rule{
+		{Name: TypeNames[0], Match: func(ev tdmt.AccessEvent) bool {
+			return ev.Attr("checking") == CheckingNone
+		}},
+		{Name: TypeNames[1], Match: func(ev tdmt.AccessEvent) bool {
+			p := ev.Attr("purpose")
+			return ev.Attr("checking") == CheckingNegative && (p == "new car" || p == "education")
+		}},
+		{Name: TypeNames[2], Match: func(ev tdmt.AccessEvent) bool {
+			return ev.Attr("checking") == CheckingPositive && ev.Attr("unskilled") == "yes" &&
+				ev.Attr("purpose") == "education"
+		}},
+		{Name: TypeNames[3], Match: func(ev tdmt.AccessEvent) bool {
+			return ev.Attr("checking") == CheckingPositive && ev.Attr("unskilled") == "yes" &&
+				ev.Attr("purpose") == "appliance"
+		}},
+		{Name: TypeNames[4], Match: func(ev tdmt.AccessEvent) bool {
+			return ev.Attr("checking") == CheckingPositive && ev.Attr("critical") == "yes" &&
+				ev.Attr("purpose") == "business"
+		}},
+	}
+	e, err := tdmt.NewEngine(rules)
+	if err != nil {
+		panic("credit: engine construction cannot fail: " + err.Error())
+	}
+	return e
+}
+
+// Config parameterizes the simulator.
+type Config struct {
+	// Periods is the number of audit periods to simulate (each period
+	// bootstraps PopulationSize applications).
+	Periods int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Periods == 0 {
+		c.Periods = 60
+	}
+	return c
+}
+
+// PopulationSize is the number of applications in the base dataset,
+// matching the Statlog dataset's 1000 records.
+const PopulationSize = 1000
+
+// Dataset is the synthetic credit workload.
+type Dataset struct {
+	Engine       *tdmt.Engine
+	Log          *tdmt.Log
+	Applications []Application
+	// Benign counts resampled applications that raised no alert.
+	Benign int
+}
+
+// Simulate builds the 1000-application population with Table IX's exact
+// rule-match counts, then simulates cfg.Periods bootstrap audit periods
+// through the TDMT engine.
+func Simulate(cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Periods <= 0 {
+		return nil, fmt.Errorf("credit: non-positive periods %d", cfg.Periods)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{Engine: Engine()}
+
+	ds.Applications = buildPopulation(r)
+	if len(ds.Applications) != PopulationSize {
+		return nil, fmt.Errorf("credit: population has %d applications, want %d", len(ds.Applications), PopulationSize)
+	}
+
+	log, err := tdmt.NewLog(5, cfg.Periods)
+	if err != nil {
+		return nil, err
+	}
+	ds.Log = log
+	for day := 0; day < cfg.Periods; day++ {
+		for i := 0; i < PopulationSize; i++ {
+			a := ds.Applications[r.Intn(PopulationSize)]
+			ev := Event(day, a)
+			t, ok := ds.Engine.Classify(ev)
+			if !ok {
+				ds.Benign++
+				continue
+			}
+			if err := log.Append(tdmt.Alert{Day: day, Type: t, Actor: a.ID, Target: a.Purpose}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ds, nil
+}
+
+// buildPopulation constructs the base dataset: exact rule-match counts per
+// Table IX, remainder benign, all shuffled.
+func buildPopulation(r *rand.Rand) []Application {
+	var apps []Application
+	id := 0
+	add := func(a Application) {
+		a.ID = fmt.Sprintf("app%04d", id)
+		id++
+		apps = append(apps, a)
+	}
+	anyPurpose := func() string { return Purposes[r.Intn(len(Purposes))] }
+
+	// Type 1: no checking account, any purpose.
+	for i := 0; i < typeCounts[0]; i++ {
+		add(Application{Checking: CheckingNone, Unskilled: r.Intn(4) == 0,
+			CriticalHistory: r.Intn(5) == 0, Purpose: anyPurpose()})
+	}
+	// Type 2: checking < 0, new car or education.
+	for i := 0; i < typeCounts[1]; i++ {
+		p := "new car"
+		if r.Intn(3) == 0 {
+			p = "education"
+		}
+		add(Application{Checking: CheckingNegative, Unskilled: r.Intn(4) == 0,
+			CriticalHistory: r.Intn(5) == 0, Purpose: p})
+	}
+	// Type 3: checking > 0, unskilled, education.
+	for i := 0; i < typeCounts[2]; i++ {
+		add(Application{Checking: CheckingPositive, Unskilled: true, Purpose: "education"})
+	}
+	// Type 4: checking > 0, unskilled, appliance.
+	for i := 0; i < typeCounts[3]; i++ {
+		add(Application{Checking: CheckingPositive, Unskilled: true, Purpose: "appliance"})
+	}
+	// Type 5: checking > 0, critical history, business.
+	for i := 0; i < typeCounts[4]; i++ {
+		add(Application{Checking: CheckingPositive, CriticalHistory: true, Purpose: "business"})
+	}
+	// Benign remainder: attribute combinations that match no rule.
+	benignPurposes := []string{"used car", "repairs", "retraining", "furniture"}
+	for len(apps) < PopulationSize {
+		checking := CheckingNegative
+		if r.Intn(2) == 0 {
+			checking = CheckingPositive
+		}
+		a := Application{
+			Checking:  checking,
+			Unskilled: r.Intn(4) == 0,
+			Purpose:   benignPurposes[r.Intn(len(benignPurposes))],
+		}
+		add(a)
+	}
+	r.Shuffle(len(apps), func(i, j int) { apps[i], apps[j] = apps[j], apps[i] })
+	return apps
+}
+
+// Paper parameters for the Rea B game (§V-A).
+var (
+	// Benefits is the adversary benefit per alert type (1–5).
+	Benefits = [5]float64{15, 15, 14, 20, 18}
+	// Penalty is the adversary's loss on detection.
+	Penalty = 20.0
+	// AttackCost and AuditCost are both 1.
+	AttackCost = 1.0
+	AuditCost  = 1.0
+)
+
+// GameConfig parameterizes BuildGame.
+type GameConfig struct {
+	// Applicants is the adversary sample size (paper: 100, for 800
+	// potential events across the 8 purposes).
+	Applicants int
+	// Seed drives the applicant sampling.
+	Seed int64
+}
+
+func (c GameConfig) withDefaults() GameConfig {
+	if c.Applicants == 0 {
+		c.Applicants = 100
+	}
+	return c
+}
+
+// BuildGame samples applicants who trigger at least one alert label,
+// labels every (applicant, purpose) event through the TDMT engine, and
+// assembles the Rea B Stackelberg game (benefit vector, penalty 20, unit
+// costs, p_e = 1, no-attack option). Alert-count distributions come from
+// the simulated log.
+func BuildGame(ds *Dataset, cfg GameConfig) (*game.Game, error) {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	// Applicants with at least one label under their own application.
+	var labelled []Application
+	for _, a := range ds.Applications {
+		if _, ok := ds.Engine.Classify(Event(0, a)); ok {
+			labelled = append(labelled, a)
+		}
+	}
+	if len(labelled) < cfg.Applicants {
+		return nil, fmt.Errorf("credit: %d labelled applicants, need %d", len(labelled), cfg.Applicants)
+	}
+	r.Shuffle(len(labelled), func(i, j int) { labelled[i], labelled[j] = labelled[j], labelled[i] })
+	labelled = labelled[:cfg.Applicants]
+
+	dists := ds.Log.EmpiricalDists()
+	g := &game.Game{AllowNoAttack: true}
+	for t := 0; t < 5; t++ {
+		g.Types = append(g.Types, game.AlertType{Name: TypeNames[t], Cost: AuditCost, Dist: dists[t]})
+	}
+	for _, a := range labelled {
+		g.Entities = append(g.Entities, game.Entity{Name: a.ID, PAttack: 1})
+	}
+	g.Victims = append(g.Victims, Purposes[:]...)
+
+	g.Attacks = make([][]game.Attack, len(labelled))
+	for ai, a := range labelled {
+		g.Attacks[ai] = make([]game.Attack, len(Purposes))
+		for pi, purpose := range Purposes {
+			t, ok := ds.Engine.Classify(EventFor(0, a, purpose))
+			if !ok {
+				g.Attacks[ai][pi] = game.DeterministicAttack(5, -1, 0, Penalty, AttackCost)
+				continue
+			}
+			g.Attacks[ai][pi] = game.DeterministicAttack(5, t, Benefits[t], Penalty, AttackCost)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("credit: built game invalid: %v", err)
+	}
+	return g, nil
+}

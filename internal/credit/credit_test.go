@@ -1,0 +1,184 @@
+package credit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEngineRules(t *testing.T) {
+	e := Engine()
+	cases := []struct {
+		name string
+		app  Application
+		want int // -1 = benign
+	}{
+		{"no checking, car", Application{Checking: CheckingNone, Purpose: "new car"}, 0},
+		{"no checking, repairs", Application{Checking: CheckingNone, Purpose: "repairs"}, 0},
+		{"neg checking, new car", Application{Checking: CheckingNegative, Purpose: "new car"}, 1},
+		{"neg checking, education", Application{Checking: CheckingNegative, Purpose: "education"}, 1},
+		{"neg checking, repairs", Application{Checking: CheckingNegative, Purpose: "repairs"}, -1},
+		{"pos unskilled education", Application{Checking: CheckingPositive, Unskilled: true, Purpose: "education"}, 2},
+		{"pos unskilled appliance", Application{Checking: CheckingPositive, Unskilled: true, Purpose: "appliance"}, 3},
+		{"pos critical business", Application{Checking: CheckingPositive, CriticalHistory: true, Purpose: "business"}, 4},
+		{"pos skilled education", Application{Checking: CheckingPositive, Purpose: "education"}, -1},
+		{"pos unskilled business", Application{Checking: CheckingPositive, Unskilled: true, Purpose: "business"}, -1},
+	}
+	for _, tc := range cases {
+		typ, ok := e.Classify(Event(0, tc.app))
+		if tc.want == -1 {
+			if ok {
+				t.Errorf("%s: classified as %d, want benign", tc.name, typ)
+			}
+			continue
+		}
+		if !ok || typ != tc.want {
+			t.Errorf("%s: Classify = (%d,%v), want (%d,true)", tc.name, typ, ok, tc.want)
+		}
+	}
+}
+
+func TestPopulationMatchesTableIXCounts(t *testing.T) {
+	ds, err := Simulate(Config{Periods: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Applications) != PopulationSize {
+		t.Fatalf("population = %d", len(ds.Applications))
+	}
+	counts := make([]int, 5)
+	benign := 0
+	for _, a := range ds.Applications {
+		if typ, ok := ds.Engine.Classify(Event(0, a)); ok {
+			counts[typ]++
+		} else {
+			benign++
+		}
+	}
+	want := []int{370, 82, 5, 28, 8}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("type %d population count = %d, want %d", i+1, counts[i], want[i])
+		}
+	}
+	if benign != PopulationSize-370-82-5-28-8 {
+		t.Fatalf("benign = %d", benign)
+	}
+}
+
+func TestSimulatedMomentsMatchTableIX(t *testing.T) {
+	ds, err := Simulate(Config{Periods: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for typ := 0; typ < 5; typ++ {
+		mean, std := ds.Log.TypeStats(typ)
+		wantMean := float64([]int{370, 82, 5, 28, 8}[typ])
+		if math.Abs(mean-wantMean) > 4*TableIXStds[typ]/math.Sqrt(200)+1 {
+			t.Errorf("type %d mean = %.2f, want ≈%.0f", typ+1, mean, wantMean)
+		}
+		// Bootstrap counts are binomial: std ≈ √(n·p·(1−p)).
+		p := wantMean / PopulationSize
+		wantStd := math.Sqrt(PopulationSize * p * (1 - p))
+		if math.Abs(std-wantStd) > 0.35*wantStd+0.5 {
+			t.Errorf("type %d std = %.2f, want ≈%.2f", typ+1, std, wantStd)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a, err := Simulate(Config{Periods: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(Config{Periods: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Log.Len() != b.Log.Len() || a.Benign != b.Benign {
+		t.Fatal("same seed produced different datasets")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(Config{Periods: -3}); err == nil {
+		t.Fatal("expected error for negative periods")
+	}
+}
+
+func TestBuildGameShape(t *testing.T) {
+	ds, err := Simulate(Config{Periods: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildGame(ds, GameConfig{Applicants: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Types) != 5 || len(g.Entities) != 100 || len(g.Victims) != 8 {
+		t.Fatalf("game shape %d/%d/%d", len(g.Types), len(g.Entities), len(g.Victims))
+	}
+	if !g.AllowNoAttack {
+		t.Fatal("Rea B game must allow the no-attack option")
+	}
+}
+
+func TestBuildGameNoCheckingAttacksEveryPurpose(t *testing.T) {
+	ds, err := Simulate(Config{Periods: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildGame(ds, GameConfig{Applicants: 150, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an entity corresponding to a no-checking applicant: every one
+	// of its 8 purpose attacks must trigger type 1 (index 0).
+	byID := map[string]Application{}
+	for _, a := range ds.Applications {
+		byID[a.ID] = a
+	}
+	checked := false
+	for ei, ent := range g.Entities {
+		if byID[ent.Name].Checking != CheckingNone {
+			continue
+		}
+		checked = true
+		for pi, atk := range g.Attacks[ei] {
+			if atk.TypeProbs[0] != 1 {
+				t.Fatalf("no-checking applicant %s purpose %d does not raise type 1", ent.Name, pi)
+			}
+			if atk.Benefit != Benefits[0] {
+				t.Fatalf("benefit = %v, want %v", atk.Benefit, Benefits[0])
+			}
+		}
+	}
+	if !checked {
+		t.Skip("sample contained no no-checking applicant (unlikely)")
+	}
+}
+
+func TestBuildGameTooManyApplicants(t *testing.T) {
+	ds, err := Simulate(Config{Periods: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildGame(ds, GameConfig{Applicants: 100000}); err == nil {
+		t.Fatal("expected error for oversized sample")
+	}
+}
+
+func TestEventForOverridesPurpose(t *testing.T) {
+	a := Application{ID: "x", Checking: CheckingNegative, Purpose: "repairs"}
+	ev := EventFor(0, a, "education")
+	if ev.Attr("purpose") != "education" || ev.Target != "education" {
+		t.Fatal("EventFor did not override purpose")
+	}
+	e := Engine()
+	typ, ok := e.Classify(ev)
+	if !ok || typ != 1 {
+		t.Fatalf("Classify = (%d,%v), want (1,true)", typ, ok)
+	}
+}

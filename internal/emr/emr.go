@@ -1,0 +1,352 @@
+// Package emr synthesizes an electronic-medical-record access workload
+// that substitutes for the proprietary VUMC audit logs the paper evaluates
+// on (Rea A, §V-A). The paper consumes only two artifacts from that data:
+// per-type daily alert-count distributions (Table VIII) and an
+// employee×patient matrix labelled with alert types. This simulator
+// produces both by generating a population with correlated last names,
+// addresses, and departments, replaying daily accesses through the TDMT
+// rule engine, and exposing the resulting log.
+//
+// Alert types follow Table VIII: combinations of four base predicates —
+// same last name (L), same department (D), same residential address (A),
+// and geographic neighbors within half a mile (N). Address equality is a
+// string match while neighborhood is computed from geocoded coordinates,
+// so all the paper's combinations (including "same address but not
+// neighbors", a geocoding artifact) occur.
+package emr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"auditgame/internal/tdmt"
+)
+
+// Person is an employee or patient in the synthetic hospital.
+type Person struct {
+	ID       string
+	LastName string
+	// Dept is the hospital department for employees, or "" for
+	// non-employee patients.
+	Dept string
+	// Addr is the residential address string.
+	Addr string
+	// X, Y are geocoded coordinates in miles on a city grid.
+	X, Y float64
+}
+
+// NeighborRadius is the neighborhood threshold in miles (Table VIII).
+const NeighborRadius = 0.5
+
+// Distance returns the geocoded distance between two people in miles.
+func Distance(a, b Person) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// TypeNames are the seven combined alert types of Table VIII, in order.
+var TypeNames = [7]string{
+	"Same Last Name",
+	"Department Co-worker",
+	"Neighbor (<=0.5mi)",
+	"Last Name + Same Address",
+	"Last Name + Neighbor",
+	"Same Address + Neighbor",
+	"Last Name + Same Address + Neighbor",
+}
+
+// TableVIIIMeans and TableVIIIStds are the paper's per-type daily count
+// statistics, the calibration target for the simulator.
+var (
+	TableVIIIMeans = [7]float64{183.21, 32.18, 113.89, 15.43, 23.75, 20.07, 32.07}
+	TableVIIIStds  = [7]float64{46.40, 23.14, 80.44, 14.61, 11.07, 11.49, 16.54}
+)
+
+// Event builds the TDMT access event for employee e touching patient p.
+func Event(day int, e, p Person) tdmt.AccessEvent {
+	return tdmt.AccessEvent{
+		Day:    day,
+		Actor:  e.ID,
+		Target: p.ID,
+		Attrs: map[string]string{
+			"actor.last":  e.LastName,
+			"actor.dept":  e.Dept,
+			"actor.addr":  e.Addr,
+			"actor.x":     coord(e.X),
+			"actor.y":     coord(e.Y),
+			"target.last": p.LastName,
+			"target.dept": p.Dept,
+			"target.addr": p.Addr,
+			"target.x":    coord(p.X),
+			"target.y":    coord(p.Y),
+		},
+	}
+}
+
+func coord(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+
+func parseCoord(s string) float64 {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// predicates evaluates the four base predicates on an event.
+func predicates(ev tdmt.AccessEvent) (l, d, a, n bool) {
+	l = ev.Attr("actor.last") != "" && ev.Attr("actor.last") == ev.Attr("target.last")
+	d = ev.Attr("target.dept") != "" && ev.Attr("actor.dept") == ev.Attr("target.dept")
+	a = ev.Attr("actor.addr") != "" && ev.Attr("actor.addr") == ev.Attr("target.addr")
+	dx := parseCoord(ev.Attr("actor.x")) - parseCoord(ev.Attr("target.x"))
+	dy := parseCoord(ev.Attr("actor.y")) - parseCoord(ev.Attr("target.y"))
+	n = math.Sqrt(dx*dx+dy*dy) <= NeighborRadius
+	return
+}
+
+// Engine builds the TDMT rule engine for the seven Table VIII types. Each
+// rule matches one exact predicate combination, so every event maps to at
+// most one alert type as the model requires.
+func Engine() *tdmt.Engine {
+	match := func(wantL, wantD, wantA, wantN bool) func(tdmt.AccessEvent) bool {
+		return func(ev tdmt.AccessEvent) bool {
+			l, d, a, n := predicates(ev)
+			return l == wantL && d == wantD && a == wantA && n == wantN
+		}
+	}
+	rules := []tdmt.Rule{
+		{Name: TypeNames[0], Match: match(true, false, false, false)},
+		{Name: TypeNames[1], Match: match(false, true, false, false)},
+		{Name: TypeNames[2], Match: match(false, false, false, true)},
+		{Name: TypeNames[3], Match: match(true, false, true, false)},
+		{Name: TypeNames[4], Match: match(true, false, false, true)},
+		{Name: TypeNames[5], Match: match(false, false, true, true)},
+		{Name: TypeNames[6], Match: match(true, false, true, true)},
+	}
+	e, err := tdmt.NewEngine(rules)
+	if err != nil {
+		panic("emr: engine construction cannot fail: " + err.Error())
+	}
+	return e
+}
+
+// Config parameterizes the simulator.
+type Config struct {
+	// Days is the number of workdays to simulate (the paper uses 28).
+	Days int
+	// Employees is the employee population size.
+	Employees int
+	// PairsPerType is how many related (employee, patient) pairs exist
+	// for each alert type; daily alerts are drawn from these pools.
+	PairsPerType int
+	// BenignPerDay is the number of unrelated accesses per day. The
+	// real system sees ~350k; any value large enough to dominate the
+	// alert counts exercises the same code paths.
+	BenignPerDay int
+	// Means, Stds give the target daily alert count distribution per
+	// type. Zero-valued fields default to Table VIII.
+	Means, Stds [7]float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Days == 0 {
+		c.Days = 28
+	}
+	if c.Employees == 0 {
+		c.Employees = 300
+	}
+	if c.PairsPerType == 0 {
+		c.PairsPerType = 60
+	}
+	if c.BenignPerDay == 0 {
+		c.BenignPerDay = 2000
+	}
+	var zero [7]float64
+	if c.Means == zero {
+		c.Means = TableVIIIMeans
+	}
+	if c.Stds == zero {
+		c.Stds = TableVIIIStds
+	}
+	return c
+}
+
+// Dataset is a fully simulated EMR audit workload.
+type Dataset struct {
+	Engine    *tdmt.Engine
+	Log       *tdmt.Log
+	Employees []Person
+	Patients  []Person
+	// Benign is the number of accesses that raised no alert.
+	Benign int
+	// pairPools[t] holds the related pairs that can raise type t.
+	pairPools [7][]pair
+}
+
+type pair struct{ emp, pat int } // indexes into Employees, Patients
+
+const citySize = 40.0 // miles; the synthetic city is a citySize² grid
+
+// Simulate generates the population and Days of access traffic, classifies
+// every access through the rule engine, and returns the dataset.
+func Simulate(cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Days <= 0 || cfg.Employees <= 0 || cfg.PairsPerType <= 0 {
+		return nil, fmt.Errorf("emr: non-positive config %+v", cfg)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{Engine: Engine()}
+
+	// Employee population.
+	for i := 0; i < cfg.Employees; i++ {
+		ds.Employees = append(ds.Employees, Person{
+			ID:       fmt.Sprintf("emp%04d", i),
+			LastName: lastName(r),
+			Dept:     departments[r.Intn(len(departments))],
+			Addr:     fmt.Sprintf("addr%05d", r.Intn(100000)),
+			X:        r.Float64() * citySize,
+			Y:        r.Float64() * citySize,
+		})
+	}
+
+	// Related patients: for each alert type, PairsPerType pairs whose
+	// attributes satisfy exactly that predicate combination.
+	newPatient := func(i int) Person {
+		return Person{
+			ID:       fmt.Sprintf("pat%05d", i),
+			LastName: lastName(r),
+			Addr:     fmt.Sprintf("addr%05d", r.Intn(100000)),
+			X:        r.Float64() * citySize,
+			Y:        r.Float64() * citySize,
+		}
+	}
+	patID := 0
+	for t := 0; t < 7; t++ {
+		for k := 0; k < cfg.PairsPerType; k++ {
+			ei := r.Intn(len(ds.Employees))
+			emp := ds.Employees[ei]
+			p := newPatient(patID)
+			patID++
+			shape(&p, emp, t, r)
+			ds.Patients = append(ds.Patients, p)
+			ds.pairPools[t] = append(ds.pairPools[t], pair{emp: ei, pat: len(ds.Patients) - 1})
+		}
+	}
+	// Unrelated patients for benign traffic: far away, different names.
+	benignStart := len(ds.Patients)
+	for k := 0; k < cfg.Employees; k++ {
+		p := newPatient(patID)
+		patID++
+		p.LastName = "zz-" + p.LastName // never collides with employees
+		ds.Patients = append(ds.Patients, p)
+	}
+
+	// Traffic.
+	log, err := tdmt.NewLog(7, cfg.Days)
+	if err != nil {
+		return nil, err
+	}
+	ds.Log = log
+	for day := 0; day < cfg.Days; day++ {
+		for t := 0; t < 7; t++ {
+			n := int(math.Round(r.NormFloat64()*cfg.Stds[t] + cfg.Means[t]))
+			if n < 0 {
+				n = 0
+			}
+			for i := 0; i < n; i++ {
+				pr := ds.pairPools[t][r.Intn(len(ds.pairPools[t]))]
+				ev := Event(day, ds.Employees[pr.emp], ds.Patients[pr.pat])
+				typ, ok := ds.Engine.Classify(ev)
+				if !ok {
+					return nil, fmt.Errorf("emr: planted type-%d access classified benign", t+1)
+				}
+				if typ != t {
+					return nil, fmt.Errorf("emr: planted type-%d access classified as %d", t+1, typ+1)
+				}
+				if err := log.Append(tdmt.Alert{Day: day, Type: typ, Actor: ev.Actor, Target: ev.Target}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for i := 0; i < cfg.BenignPerDay; i++ {
+			emp := ds.Employees[r.Intn(len(ds.Employees))]
+			pat := ds.Patients[benignStart+r.Intn(len(ds.Patients)-benignStart)]
+			ev := Event(day, emp, pat)
+			if typ, ok := ds.Engine.Classify(ev); ok {
+				// Rare coincidental alert (e.g. random neighbors);
+				// log it like the real system would.
+				if err := log.Append(tdmt.Alert{Day: day, Type: typ, Actor: ev.Actor, Target: ev.Target}); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			ds.Benign++
+		}
+	}
+	return ds, nil
+}
+
+// shape mutates patient p so that the (emp, p) pair satisfies exactly the
+// predicate combination of alert type t.
+func shape(p *Person, emp Person, t int, r *rand.Rand) {
+	nearby := func() (float64, float64) {
+		for {
+			dx := (r.Float64()*2 - 1) * NeighborRadius
+			dy := (r.Float64()*2 - 1) * NeighborRadius
+			if math.Sqrt(dx*dx+dy*dy) <= NeighborRadius {
+				return emp.X + dx, emp.Y + dy
+			}
+		}
+	}
+	faraway := func() (float64, float64) {
+		for {
+			x, y := r.Float64()*citySize, r.Float64()*citySize
+			dx, dy := x-emp.X, y-emp.Y
+			if math.Sqrt(dx*dx+dy*dy) > NeighborRadius*2 {
+				return x, y
+			}
+		}
+	}
+	switch t {
+	case 0: // L: same last name only
+		p.LastName = emp.LastName
+		p.X, p.Y = faraway()
+	case 1: // D: same department only (patient is a co-worker)
+		p.Dept = emp.Dept
+		p.X, p.Y = faraway()
+	case 2: // N: neighbor only
+		p.X, p.Y = nearby()
+	case 3: // L∧A, not N: same address string, geocode far (bad geocode)
+		p.LastName = emp.LastName
+		p.Addr = emp.Addr
+		p.X, p.Y = faraway()
+	case 4: // L∧N, different address: relative around the corner
+		p.LastName = emp.LastName
+		p.X, p.Y = nearby()
+	case 5: // A∧N, different name: housemate
+		p.Addr = emp.Addr
+		p.X, p.Y = nearby()
+	case 6: // L∧A∧N: spouse in the same household
+		p.LastName = emp.LastName
+		p.Addr = emp.Addr
+		p.X, p.Y = nearby()
+	}
+}
+
+var departments = []string{
+	"Cardiology", "Oncology", "Pediatrics", "Radiology", "Surgery",
+	"Neurology", "Pathology", "Psychiatry", "Dermatology", "BMRC",
+}
+
+var nameHeads = []string{
+	"Smith", "Chen", "Garcia", "Patel", "Kim", "Okafor", "Larsen",
+	"Novak", "Rossi", "Yamada", "Fischer", "Dubois", "Silva", "Kovacs",
+}
+
+func lastName(r *rand.Rand) string {
+	return fmt.Sprintf("%s%03d", nameHeads[r.Intn(len(nameHeads))], r.Intn(400))
+}

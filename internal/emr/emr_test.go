@@ -1,0 +1,204 @@
+package emr
+
+import (
+	"math"
+	"testing"
+
+	"auditgame/internal/tdmt"
+)
+
+func smallConfig(seed int64) Config {
+	return Config{
+		Days:         10,
+		Employees:    80,
+		PairsPerType: 20,
+		BenignPerDay: 200,
+		Seed:         seed,
+	}
+}
+
+func TestEngineClassifiesEachCombination(t *testing.T) {
+	e := Engine()
+	emp := Person{ID: "e", LastName: "Smith001", Dept: "Surgery", Addr: "addr1", X: 10, Y: 10}
+	cases := []struct {
+		name string
+		pat  Person
+		want int // alert type 0..6, or -1 benign
+	}{
+		{"benign stranger", Person{ID: "p", LastName: "Chen002", Addr: "addr2", X: 30, Y: 30}, -1},
+		{"same last name", Person{ID: "p", LastName: "Smith001", Addr: "addr2", X: 30, Y: 30}, 0},
+		{"co-worker", Person{ID: "p", LastName: "Chen002", Dept: "Surgery", Addr: "addr2", X: 30, Y: 30}, 1},
+		{"neighbor", Person{ID: "p", LastName: "Chen002", Addr: "addr2", X: 10.1, Y: 10.1}, 2},
+		{"name+address far geocode", Person{ID: "p", LastName: "Smith001", Addr: "addr1", X: 30, Y: 30}, 3},
+		{"name+neighbor", Person{ID: "p", LastName: "Smith001", Addr: "addr2", X: 10.1, Y: 10.1}, 4},
+		{"address+neighbor", Person{ID: "p", LastName: "Chen002", Addr: "addr1", X: 10.1, Y: 10.1}, 5},
+		{"name+address+neighbor", Person{ID: "p", LastName: "Smith001", Addr: "addr1", X: 10.1, Y: 10.1}, 6},
+	}
+	for _, tc := range cases {
+		typ, ok := e.Classify(Event(0, emp, tc.pat))
+		if tc.want == -1 {
+			if ok {
+				t.Errorf("%s: classified as %d, want benign", tc.name, typ)
+			}
+			continue
+		}
+		if !ok || typ != tc.want {
+			t.Errorf("%s: Classify = (%d,%v), want (%d,true)", tc.name, typ, ok, tc.want)
+		}
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := Person{X: 0, Y: 0}
+	b := Person{X: 3, Y: 4}
+	if d := Distance(a, b); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("Distance = %v, want 5", d)
+	}
+}
+
+func TestSimulateShapes(t *testing.T) {
+	ds, err := Simulate(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Log.Days() != 10 || ds.Log.NumTypes() != 7 {
+		t.Fatalf("log shape %d days × %d types", ds.Log.Days(), ds.Log.NumTypes())
+	}
+	if len(ds.Employees) != 80 {
+		t.Fatalf("employees = %d", len(ds.Employees))
+	}
+	// 7 types × 20 related patients + 80 benign patients.
+	if len(ds.Patients) != 7*20+80 {
+		t.Fatalf("patients = %d", len(ds.Patients))
+	}
+	if ds.Benign == 0 {
+		t.Fatal("no benign traffic recorded")
+	}
+	if ds.Log.Len() == 0 {
+		t.Fatal("no alerts logged")
+	}
+}
+
+func TestSimulateDeterministicUnderSeed(t *testing.T) {
+	a, err := Simulate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Log.Len() != b.Log.Len() {
+		t.Fatalf("same seed, different logs: %d vs %d alerts", a.Log.Len(), b.Log.Len())
+	}
+	for typ := 0; typ < 7; typ++ {
+		ca, cb := a.Log.DailyCounts(typ), b.Log.DailyCounts(typ)
+		for d := range ca {
+			if ca[d] != cb[d] {
+				t.Fatalf("type %d day %d: %d vs %d", typ, d, ca[d], cb[d])
+			}
+		}
+	}
+}
+
+func TestSimulateCountsTrackTableVIII(t *testing.T) {
+	cfg := Config{Days: 60, Employees: 200, PairsPerType: 40, BenignPerDay: 500, Seed: 3}
+	ds, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for typ := 0; typ < 7; typ++ {
+		mean, _ := ds.Log.TypeStats(typ)
+		want := TableVIIIMeans[typ]
+		// Sampling error over 60 days: ~3 std errors.
+		tol := 3*TableVIIIStds[typ]/math.Sqrt(60) + 0.05*want + 2
+		if math.Abs(mean-want) > tol {
+			t.Errorf("type %d daily mean = %.1f, want ≈%.1f (tol %.1f)", typ+1, mean, want, tol)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(Config{Days: -1, Employees: 1, PairsPerType: 1, BenignPerDay: 1}); err == nil {
+		t.Fatal("expected error for negative days")
+	}
+}
+
+func TestBuildGameShape(t *testing.T) {
+	ds, err := Simulate(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildGame(ds, GameConfig{Employees: 20, Patients: 20, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Types) != 7 || len(g.Entities) != 20 || len(g.Victims) != 20 {
+		t.Fatalf("game shape %d/%d/%d", len(g.Types), len(g.Entities), len(g.Victims))
+	}
+	if !g.AllowNoAttack {
+		t.Fatal("Rea A game must allow the no-attack option")
+	}
+	// At least one pair should trigger an alert (sampled from alerting
+	// populations).
+	found := false
+	for e := range g.Attacks {
+		for _, a := range g.Attacks[e] {
+			for _, p := range a.TypeProbs {
+				if p > 0 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no attack in the matrix triggers any alert")
+	}
+}
+
+func TestBuildGameBenefitsMatchTypes(t *testing.T) {
+	ds, err := Simulate(smallConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildGame(ds, GameConfig{Employees: 15, Patients: 15, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range g.Attacks {
+		for _, a := range g.Attacks[e] {
+			for typ, p := range a.TypeProbs {
+				if p > 0 && a.Benefit != Benefits[typ] {
+					t.Fatalf("type %d attack has benefit %v, want %v", typ+1, a.Benefit, Benefits[typ])
+				}
+			}
+		}
+	}
+}
+
+func TestBuildGameTooFewAlertingPeople(t *testing.T) {
+	ds, err := Simulate(Config{Days: 2, Employees: 5, PairsPerType: 1, BenignPerDay: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildGame(ds, GameConfig{Employees: 500, Patients: 500}); err == nil {
+		t.Fatal("expected error when sample exceeds alerting population")
+	}
+}
+
+func TestEventRoundTripAttrs(t *testing.T) {
+	emp := Person{ID: "e1", LastName: "Kim007", Dept: "BMRC", Addr: "addr9", X: 1.25, Y: 2.5}
+	pat := Person{ID: "p1", LastName: "Kim007", Addr: "addr9", X: 1.25, Y: 2.5}
+	ev := Event(3, emp, pat)
+	if ev.Day != 3 || ev.Actor != "e1" || ev.Target != "p1" {
+		t.Fatal("event identity fields wrong")
+	}
+	var _ tdmt.AccessEvent = ev
+	l, d, a, n := predicates(ev)
+	if !l || d || !a || !n {
+		t.Fatalf("predicates = %v %v %v %v, want L,A,N only", l, d, a, n)
+	}
+}

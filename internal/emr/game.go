@@ -1,0 +1,121 @@
+package emr
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"auditgame/internal/game"
+)
+
+// Paper parameters for the Rea A game (§V-A).
+var (
+	// Benefits is the adversary benefit per alert type (1–7).
+	Benefits = [7]float64{10, 12, 12, 24, 25, 25, 27}
+	// Penalty is the adversary's loss when captured.
+	Penalty = 15.0
+	// AttackCost and AuditCost are both 1 in the paper.
+	AttackCost = 1.0
+	AuditCost  = 1.0
+)
+
+// GameConfig parameterizes BuildGame.
+type GameConfig struct {
+	// Employees and Patients are the sample sizes (the paper uses
+	// 50×50 → 2500 potential accesses).
+	Employees, Patients int
+	// Seed drives the sampling of the attack matrix.
+	Seed int64
+}
+
+func (c GameConfig) withDefaults() GameConfig {
+	if c.Employees == 0 {
+		c.Employees = 50
+	}
+	if c.Patients == 0 {
+		c.Patients = 50
+	}
+	return c
+}
+
+// BuildGame samples an employee×patient attack matrix from the dataset —
+// restricted, as in the paper, to people involved in at least one alert —
+// labels each potential access with its alert type by running it through
+// the TDMT engine, and assembles the Stackelberg game with the paper's
+// Rea A parameters (benefit vector, penalty 15, unit costs, p_e = 1,
+// no-attack option available). Alert-count distributions come from the
+// simulated log.
+func BuildGame(ds *Dataset, cfg GameConfig) (*game.Game, error) {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	// Index people by ID for lookup from log actors/targets.
+	empByID := map[string]Person{}
+	for _, e := range ds.Employees {
+		empByID[e.ID] = e
+	}
+	patByID := map[string]Person{}
+	for _, p := range ds.Patients {
+		patByID[p.ID] = p
+	}
+
+	// People involved in alerts.
+	empSet := map[string]bool{}
+	patSet := map[string]bool{}
+	for t := 0; t < 7; t++ {
+		for _, pr := range ds.pairPools[t] {
+			empSet[ds.Employees[pr.emp].ID] = true
+			patSet[ds.Patients[pr.pat].ID] = true
+		}
+	}
+	emps := sortedKeys(empSet)
+	pats := sortedKeys(patSet)
+	if len(emps) < cfg.Employees || len(pats) < cfg.Patients {
+		return nil, fmt.Errorf("emr: dataset has %d alerting employees and %d patients, need %d×%d",
+			len(emps), len(pats), cfg.Employees, cfg.Patients)
+	}
+	r.Shuffle(len(emps), func(i, j int) { emps[i], emps[j] = emps[j], emps[i] })
+	r.Shuffle(len(pats), func(i, j int) { pats[i], pats[j] = pats[j], pats[i] })
+	emps = emps[:cfg.Employees]
+	pats = pats[:cfg.Patients]
+
+	dists := ds.Log.EmpiricalDists()
+	g := &game.Game{AllowNoAttack: true}
+	for t := 0; t < 7; t++ {
+		g.Types = append(g.Types, game.AlertType{Name: TypeNames[t], Cost: AuditCost, Dist: dists[t]})
+	}
+	for _, id := range emps {
+		g.Entities = append(g.Entities, game.Entity{Name: id, PAttack: 1})
+	}
+	g.Victims = append(g.Victims, pats...)
+
+	g.Attacks = make([][]game.Attack, len(emps))
+	for ei, eid := range emps {
+		emp := empByID[eid]
+		g.Attacks[ei] = make([]game.Attack, len(pats))
+		for pi, pid := range pats {
+			pat := patByID[pid]
+			ev := Event(0, emp, pat)
+			t, ok := ds.Engine.Classify(ev)
+			if !ok {
+				g.Attacks[ei][pi] = game.DeterministicAttack(7, -1, 0, Penalty, AttackCost)
+				continue
+			}
+			g.Attacks[ei][pi] = game.DeterministicAttack(7, t, Benefits[t], Penalty, AttackCost)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("emr: built game invalid: %v", err)
+	}
+	return g, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// Deterministic ordering before shuffling with the caller's seed.
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,211 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"auditgame/internal/metrics"
+)
+
+func TestSynAInstance(t *testing.T) {
+	in, err := SynAInstance(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Budget != 4 || in.G.NumTypes() != 4 {
+		t.Fatal("instance shape wrong")
+	}
+	if in.Src.Size() == 0 {
+		t.Fatal("empty realization source")
+	}
+}
+
+func TestTable3SingleBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("brute force is slow; skipped with -short")
+	}
+	rows, err := Table3([]float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	// Paper Table III, B=2: objective 12.2945 with thresholds [1,1,1,1].
+	// Our discretization differs slightly; the objective must land in
+	// the same regime.
+	if r.Objective < 11 || r.Objective > 13.5 {
+		t.Fatalf("B=2 optimum = %v, expected ≈12.3", r.Objective)
+	}
+	if r.GridSize != 12*10*8*8 {
+		t.Fatalf("grid size = %d, want 7680", r.GridSize)
+	}
+	if r.Explored == 0 || r.Explored > r.GridSize {
+		t.Fatalf("explored = %d", r.Explored)
+	}
+	var sum float64
+	for _, p := range r.Probs {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("mixed strategy sums to %v", sum)
+	}
+
+	var buf bytes.Buffer
+	PrintTable3(&buf, rows)
+	if !strings.Contains(buf.String(), "Table III") {
+		t.Fatal("printer output malformed")
+	}
+}
+
+func TestTables4Through7SmallGrid(t *testing.T) {
+	budgets := []float64{4, 10}
+	eps := []float64{0.25, 0.5}
+
+	t4, err := Table4(budgets, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t5, err := Table5(budgets, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi := range budgets {
+		for ei := range eps {
+			if t5.Cells[bi][ei].Objective < t4.Cells[bi][ei].Objective-1e-6 {
+				t.Fatalf("CGGS inner beat exact inner at B=%v ε=%v: %v vs %v",
+					budgets[bi], eps[ei], t5.Cells[bi][ei].Objective, t4.Cells[bi][ei].Objective)
+			}
+		}
+	}
+	// Objectives decrease with budget at fixed ε (more budget helps).
+	for ei := range eps {
+		col := t4.Objectives(ei)
+		if col[1] > col[0]+1e-9 {
+			t.Fatalf("objective increased with budget at ε=%v: %v", eps[ei], col)
+		}
+	}
+
+	// Table 6 against a fake optimal baseline: use t4's own values →
+	// γ¹ = 1 exactly.
+	fake3 := make([]Table3Row, len(budgets))
+	for i := range fake3 {
+		fake3[i] = Table3Row{Budget: budgets[i], Objective: t4.Cells[i][0].Objective}
+	}
+	g1, g2, err := Table6(fake3, t4, t5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g1[0]-1) > 1e-9 {
+		t.Fatalf("γ¹ against itself = %v, want 1", g1[0])
+	}
+	if len(g2) != len(eps) {
+		t.Fatalf("γ² length = %d", len(g2))
+	}
+
+	t7, err := Table7(t4, 7680)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finer ε explores at least as many vectors on average.
+	if t7.MeanPerEpsilon[0] < t7.MeanPerEpsilon[1] {
+		t.Fatalf("ε=0.25 explored less than ε=0.5: %v", t7.MeanPerEpsilon)
+	}
+	for _, ratio := range t7.RatioPerEpsilon {
+		if ratio <= 0 || ratio >= 1 {
+			t.Fatalf("exploration ratio %v outside (0,1)", ratio)
+		}
+	}
+	if _, err := Table7(t4, 0); err == nil {
+		t.Fatal("expected error for zero grid size")
+	}
+
+	var buf bytes.Buffer
+	PrintGrid(&buf, "Table IV", t4)
+	PrintTable6(&buf, eps, g1, g2)
+	PrintTable7(&buf, t7)
+	out := buf.String()
+	for _, want := range []string{"Table IV", "γ¹", "T' = ["} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("printer output missing %q", want)
+		}
+	}
+}
+
+func figOptsForTest() FigOptions {
+	return FigOptions{
+		Epsilons:             []float64{0.3},
+		RandomThresholdDraws: 3,
+		RandomOrderSamples:   200,
+		BankSize:             150,
+		MaxSubset:            2,
+		Seed:                 1,
+	}
+}
+
+func TestFig1ShapeAndDominance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep is slow; skipped with -short")
+	}
+	budgets := []float64{20, 60, 100}
+	f, err := Fig1(budgets, figOptsForTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(f.Series))
+	}
+	proposed := f.Series[0]
+	// The proposed model's loss decreases with budget.
+	for i := 1; i < len(proposed.Values); i++ {
+		if proposed.Values[i] > proposed.Values[i-1]+1e-6 {
+			t.Fatalf("proposed loss not monotone: %v", proposed.Values)
+		}
+	}
+	// Headline claim: the proposed model outperforms every baseline.
+	for _, s := range f.Series[1:] {
+		ok, err := metrics.DominatedBy(proposed, s, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("proposed (%v) not dominated by %s (%v)", proposed.Values, s.Name, s.Values)
+		}
+	}
+
+	var buf bytes.Buffer
+	PrintFigure(&buf, "Figure 1", f)
+	if !strings.Contains(buf.String(), "Audit based on benefit") {
+		t.Fatal("printer output malformed")
+	}
+}
+
+func TestFig2ShapeAndDominance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep is slow; skipped with -short")
+	}
+	budgets := []float64{50, 150, 250}
+	f, err := Fig2(budgets, figOptsForTest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proposed := f.Series[0]
+	for _, s := range f.Series[1:] {
+		ok, err := metrics.DominatedBy(proposed, s, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("proposed (%v) not dominated by %s (%v)", proposed.Values, s.Name, s.Values)
+		}
+	}
+	// At the top of the sweep the attackers should be fully deterred
+	// (loss ≈ 0), the paper's Figure 2 endpoint.
+	last := proposed.Values[len(proposed.Values)-1]
+	if last > 1 {
+		t.Fatalf("loss at B=250 is %v, want ≈0 (deterrence)", last)
+	}
+}

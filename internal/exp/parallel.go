@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEachIndex runs fn(i) for i in [0, n) across workers goroutines
+// (0 = GOMAXPROCS, capped at n) and returns the first error. Every
+// experiment sweep in this package is independent across budgets, so the
+// harness parallelizes at that level; determinism is preserved because
+// each index writes only its own slot.
+func forEachIndex(n, workers int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstEr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstEr
+}

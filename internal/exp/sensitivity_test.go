@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSensitivityProposedDominates(t *testing.T) {
+	rows, err := Sensitivity(SensitivityConfig{
+		Penalties: []float64{2, 8},
+		PAttacks:  []float64{0.5, 1},
+		Epsilon:   0.25,
+		Draws:     5,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Proposed > r.RandomOrders+1e-6 || r.Proposed > r.GreedyBenefit+1e-6 {
+			t.Fatalf("proposed (%v) beaten at M=%v pe=%v: ro=%v gb=%v",
+				r.Proposed, r.Penalty, r.PAttack, r.RandomOrders, r.GreedyBenefit)
+		}
+		// Random thresholds with an optimal inner LP can tie but not
+		// substantially beat the proposed policy.
+		if r.Proposed > r.RandomThresholds+0.3 {
+			t.Fatalf("proposed (%v) substantially beaten by random thresholds (%v)",
+				r.Proposed, r.RandomThresholds)
+		}
+	}
+	// Higher penalty can only help the auditor at fixed pe.
+	for _, pa := range []float64{0.5, 1} {
+		var low, high float64
+		for _, r := range rows {
+			if r.PAttack != pa {
+				continue
+			}
+			if r.Penalty == 2 {
+				low = r.Proposed
+			} else {
+				high = r.Proposed
+			}
+		}
+		if high > low+1e-9 {
+			t.Fatalf("loss rose with penalty at pe=%v: M=2→%v, M=8→%v", pa, low, high)
+		}
+	}
+	// With uniform p_e the objective Σ p_e·u_e is exactly proportional
+	// to p_e (the minimizer does not move), so the pe=1 loss must be
+	// twice the pe=0.5 loss.
+	for _, m := range []float64{2, 8} {
+		var half, full float64
+		for _, r := range rows {
+			if r.Penalty != m {
+				continue
+			}
+			if r.PAttack == 0.5 {
+				half = r.Proposed
+			} else {
+				full = r.Proposed
+			}
+		}
+		if math.Abs(full-2*half) > 1e-6*math.Max(1, math.Abs(full)) {
+			t.Fatalf("loss not proportional to p_e at M=%v: pe=0.5→%v, pe=1→%v", m, half, full)
+		}
+	}
+
+	var buf bytes.Buffer
+	PrintSensitivity(&buf, rows)
+	if !strings.Contains(buf.String(), "Sensitivity") {
+		t.Fatal("printer output malformed")
+	}
+}
+
+func TestQuantalRobustnessMonotone(t *testing.T) {
+	rows, err := QuantalRobustness(6, []float64{0, 1, 4, 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Loss < rows[i-1].Loss-1e-9 {
+			t.Fatalf("quantal loss not monotone in λ: %+v", rows)
+		}
+	}
+	var buf bytes.Buffer
+	PrintQuantal(&buf, 6, rows)
+	if !strings.Contains(buf.String(), "lambda") {
+		t.Fatal("printer output malformed")
+	}
+}
+
+func TestWorkloadShiftStaleNeverBeatsRefit(t *testing.T) {
+	rows, err := WorkloadShift(6, []float64{0.75, 1, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Stale < r.Refit-1e-6 {
+			t.Fatalf("stale policy (%v) beat refit (%v) at scale %v", r.Stale, r.Refit, r.Scale)
+		}
+	}
+	// At scale 1 the stale policy IS the refit policy (same instance,
+	// same solver): regret ≈ 0.
+	for _, r := range rows {
+		if r.Scale == 1 && math.Abs(r.Stale-r.Refit) > 1e-6 {
+			t.Fatalf("non-zero regret at scale 1: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	PrintWorkloadShift(&buf, 6, rows)
+	if !strings.Contains(buf.String(), "regret") {
+		t.Fatal("printer output malformed")
+	}
+}

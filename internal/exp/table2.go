@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"auditgame/internal/game"
+)
+
+// PrintSynA renders the Syn A setup (paper Table II): the per-type
+// workload and economics parameters and the deterministic alert-trigger
+// matrix.
+func PrintSynA(w io.Writer) {
+	g := game.SynA()
+	fmt.Fprintln(w, "Table II(a): alert-type parameters of Syn A")
+	fmt.Fprintln(w, "type  mean  std  support      benefit  attack-cost  audit-cost")
+	means := []float64{6, 5, 4, 4}
+	stds := []float64{2, 1.6, 1.3, 1}
+	benefits := []float64{3.4, 3.7, 4, 4.3}
+	for t, at := range g.Types {
+		lo, hi := at.Dist.Support()
+		fmt.Fprintf(w, "%-5d %-5.3g %-4.3g [%2d, %2d]     %-8.2f %-12.2f %.2f\n",
+			t+1, means[t], stds[t], lo, hi, benefits[t], 0.4, at.Cost)
+	}
+	fmt.Fprintln(w, "capture penalty: 4, p_e = 1 for all employees")
+
+	fmt.Fprintln(w, "\nTable II(b): alert type triggered by each access (0 = benign)")
+	fmt.Fprint(w, "employee ")
+	for v := range g.Victims {
+		fmt.Fprintf(w, " r%-2d", v+1)
+	}
+	fmt.Fprintln(w)
+	for e := range g.Entities {
+		fmt.Fprintf(w, "e%-8d", e+1)
+		for v := range g.Victims {
+			typ := 0
+			for t, p := range g.Attacks[e][v].TypeProbs {
+				if p > 0 {
+					typ = t + 1
+				}
+			}
+			fmt.Fprintf(w, " %-3d", typ)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,35 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValidateRowsAgree(t *testing.T) {
+	rows, err := Validate(ValidateConfig{Budget: 10, Trials: 15000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want one per Syn A alert type", len(rows))
+	}
+	for _, r := range rows {
+		if math.Abs(r.Empirical-r.Injected) > 0.02 {
+			t.Fatalf("%s→%s: empirical %.4f vs executed %.4f", r.Entity, r.Victim, r.Empirical, r.Injected)
+		}
+		if r.Model < r.Injected-1e-9 {
+			t.Fatalf("%s→%s: model %.4f below executed %.4f", r.Entity, r.Victim, r.Model, r.Injected)
+		}
+		if r.Model < 0 || r.Model > 1 || r.Injected < 0 || r.Injected > 1 {
+			t.Fatalf("probabilities out of range: %+v", r)
+		}
+	}
+
+	var buf bytes.Buffer
+	PrintValidation(&buf, ValidateConfig{Budget: 10, Trials: 15000}, rows)
+	if !strings.Contains(buf.String(), "Replay validation") {
+		t.Fatal("printer output malformed")
+	}
+}

@@ -1,0 +1,344 @@
+package game
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"auditgame/internal/sample"
+)
+
+// Thresholds is the per-type audit budget vector b: Thresholds[t] is the
+// maximum budget spendable on alerts of type t, so at most
+// ⌊Thresholds[t]/C_t⌋ alerts of type t are ever audited.
+type Thresholds []float64
+
+// Key returns a canonical cache key for the vector.
+func (b Thresholds) Key() string {
+	var sb strings.Builder
+	for i, v := range b {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatFloat(v, 'g', 12, 64))
+	}
+	return sb.String()
+}
+
+// Clone returns a copy of b.
+func (b Thresholds) Clone() Thresholds {
+	c := make(Thresholds, len(b))
+	copy(c, b)
+	return c
+}
+
+// String renders the vector like the paper's tables, rounding to integers
+// when the values are integral.
+func (b Thresholds) String() string {
+	parts := make([]string, len(b))
+	for i, v := range b {
+		if v == math.Trunc(v) {
+			parts[i] = strconv.Itoa(int(v))
+		} else {
+			parts[i] = strconv.FormatFloat(v, 'g', 4, 64)
+		}
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// signature is a deduplicated attack row: every victim of an entity whose
+// Attack has identical (TypeProbs, R, M, K) induces the same best-response
+// constraint, so the LP keeps one row per distinct signature. Ua(o,b,sig)
+// = base + delta·Pat with base = R−K and delta = −(M+R).
+type signature struct {
+	probs []float64
+	base  float64 // R − K
+	delta float64 // −(M + R)
+}
+
+func (s signature) ua(pal []float64) float64 {
+	var pat float64
+	for t, p := range s.probs {
+		if p != 0 {
+			pat += p * pal[t]
+		}
+	}
+	return s.base + s.delta*pat
+}
+
+// Instance binds a Game to an audit budget and a realization source, adds
+// per-entity signature deduplication, and caches detection probabilities.
+// It is the evaluation engine every solver runs on.
+type Instance struct {
+	G      *Game
+	Budget float64
+	Src    sample.Source
+
+	// classes are the entity equivalence classes: entities with the same
+	// deduplicated signature set share a best response, so the LP keeps
+	// one copy weighted by the summed p_e. This is an exact reduction
+	// (their u_e coincide in every equilibrium of the zero-sum LP) that
+	// shrinks the real-data instances dramatically — e.g. the credit
+	// game's 100 applicants collapse to a handful of classes.
+	classes     []entityClass
+	entityClass []int // entity index → class index
+	// zs/ws are the materialized realizations and weights of Src; Pal
+	// iterates these flat slices directly because it is the hottest
+	// loop in every solver.
+	zs []float64 // flattened realizations, row-major [len(ws)][numTypes]
+	ws []float64
+	// mu guards palCache and palEvals so solvers may evaluate
+	// concurrently (parallel ISHM combos, parallel experiment sweeps
+	// sharing an instance).
+	mu       sync.Mutex
+	palCache map[string][]float64
+	palEvals int
+}
+
+type entityClass struct {
+	sigs   []signature
+	weight float64 // Σ p_e over members
+}
+
+// NewInstance validates g and prepares an evaluation instance.
+func NewInstance(g *Game, budget float64, src sample.Source) (*Instance, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if budget < 0 {
+		return nil, fmt.Errorf("game: negative budget %v", budget)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("game: nil realization source")
+	}
+	in := &Instance{G: g, Budget: budget, Src: src, palCache: make(map[string][]float64)}
+	src.Each(func(z sample.Realization, w float64) {
+		for _, zt := range z {
+			in.zs = append(in.zs, float64(zt))
+		}
+		in.ws = append(in.ws, w)
+	})
+	if len(in.ws) == 0 {
+		return nil, fmt.Errorf("game: realization source is empty")
+	}
+	in.entityClass = make([]int, len(g.Entities))
+	classOf := make(map[string]int)
+	for e := range g.Entities {
+		var sigs []signature
+		var keys []string
+		seen := make(map[string]bool)
+		for _, a := range g.Attacks[e] {
+			sig := signature{
+				probs: a.TypeProbs,
+				base:  a.Benefit - a.Cost,
+				delta: -(a.Penalty + a.Benefit),
+			}
+			key := sigKey(sig)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			sigs = append(sigs, sig)
+			keys = append(keys, key)
+		}
+		sort.Sort(&sigSorter{sigs: sigs, keys: keys})
+		classKey := strings.Join(keys, ";")
+		ci, ok := classOf[classKey]
+		if !ok {
+			ci = len(in.classes)
+			classOf[classKey] = ci
+			in.classes = append(in.classes, entityClass{sigs: sigs})
+		}
+		in.classes[ci].weight += g.Entities[e].PAttack
+		in.entityClass[e] = ci
+	}
+	return in, nil
+}
+
+// sigSorter orders an entity's signatures by canonical key so identical
+// signature sets map to identical class keys regardless of victim order.
+type sigSorter struct {
+	sigs []signature
+	keys []string
+}
+
+func (s *sigSorter) Len() int           { return len(s.sigs) }
+func (s *sigSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *sigSorter) Swap(i, j int) {
+	s.sigs[i], s.sigs[j] = s.sigs[j], s.sigs[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+func sigKey(s signature) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%.12g|%.12g|", s.base, s.delta)
+	for _, p := range s.probs {
+		fmt.Fprintf(&sb, "%.12g,", p)
+	}
+	return sb.String()
+}
+
+// PalEvals returns the number of uncached Pal computations performed,
+// used by the instrumentation in Table VII-style accounting and the
+// estimator ablations.
+func (in *Instance) PalEvals() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.palEvals
+}
+
+// Pal returns the per-type detection probabilities Pal(o,b,t) of Eq. 1:
+// the expected audited fraction of type-t alerts under ordering o and
+// thresholds b. Types absent from a partial ordering o get probability 0.
+//
+// The expectation follows the paper's budget recursion: under realization
+// Z, earlier types in the order consume min{b_t, Z_t·C_t} budget; the
+// budget left for type t admits ⌊·/C_t⌋ audits, further capped by the
+// threshold and the realized count. Eq. 1's ratio n_t/Z_t is evaluated at
+// Z′_t = max(Z_t, 1): the attack's own alert makes the bin non-empty, and
+// the "attacks are rare" approximation keeps benign consumption at Z_t.
+func (in *Instance) Pal(o Ordering, b Thresholds) []float64 {
+	key := o.Key() + "|" + b.Key()
+	in.mu.Lock()
+	if pal, ok := in.palCache[key]; ok {
+		in.mu.Unlock()
+		return pal
+	}
+	in.mu.Unlock()
+
+	nT := len(in.G.Types)
+	pal := make([]float64, nT)
+	// Per-type constants hoisted out of the realization loop.
+	costs := make([]float64, len(o))
+	caps := make([]float64, len(o))
+	for i, t := range o {
+		costs[i] = in.G.Types[t].Cost
+		caps[i] = math.Floor(b[t] / costs[i])
+	}
+	for zi, w := range in.ws {
+		row := in.zs[zi*nT : (zi+1)*nT]
+		spent := 0.0
+		for i, t := range o {
+			ct := costs[i]
+			avail := math.Floor((in.Budget - spent) / ct)
+			if avail < 0 {
+				avail = 0
+			}
+			zt := row[t]
+			ztEff := zt
+			if ztEff < 1 {
+				ztEff = 1
+			}
+			nt := math.Min(avail, math.Min(caps[i], ztEff))
+			if nt > 0 {
+				pal[t] += w * nt / ztEff
+			}
+			spent += math.Min(b[t], zt*ct)
+		}
+	}
+
+	in.mu.Lock()
+	in.palEvals++
+	in.palCache[key] = pal
+	in.mu.Unlock()
+	return pal
+}
+
+// PalInjected returns the exact detection probability of a single attack
+// alert of type attackType under ordering o and thresholds b, accounting
+// for the alert itself: the attack inflates its bin from Z to Z+1, which
+// both dilutes the audited fraction (n/(Z+1)) and increases the budget
+// the bin reserves. Pal (Eq. 1) drops these effects under the paper's
+// rare-attack approximation; the difference between the two quantifies
+// that approximation and is what the replay validation measures.
+func (in *Instance) PalInjected(o Ordering, b Thresholds, attackType int) float64 {
+	var out float64
+	nT := len(in.G.Types)
+	for zi, w := range in.ws {
+		row := in.zs[zi*nT : (zi+1)*nT]
+		spent := 0.0
+		for _, t := range o {
+			ct := in.G.Types[t].Cost
+			zt := row[t]
+			if t == attackType {
+				zt++ // the attack alert joins its bin
+			}
+			if t == attackType {
+				avail := math.Floor((in.Budget - spent) / ct)
+				if avail < 0 {
+					avail = 0
+				}
+				capAlerts := math.Floor(b[t] / ct)
+				nt := math.Min(avail, math.Min(capAlerts, zt))
+				if nt > 0 {
+					out += w * nt / zt
+				}
+			}
+			spent += math.Min(b[t], zt*ct)
+		}
+	}
+	return out
+}
+
+// UaRow returns the adversary utilities Ua(o,b,·) for every deduplicated
+// attack signature of entity e, given precomputed pal = Pal(o,b).
+func (in *Instance) UaRow(e int, pal []float64) []float64 {
+	sigs := in.classes[in.entityClass[e]].sigs
+	out := make([]float64, len(sigs))
+	for i, s := range sigs {
+		out[i] = s.ua(pal)
+	}
+	return out
+}
+
+// NumSignatures returns the number of deduplicated attack rows for entity
+// e — the count of distinct best-response constraints it contributes.
+func (in *Instance) NumSignatures(e int) int {
+	return len(in.classes[in.entityClass[e]].sigs)
+}
+
+// NumClasses returns the number of entity equivalence classes the LP
+// actually optimizes over.
+func (in *Instance) NumClasses() int { return len(in.classes) }
+
+// BestResponse returns entity e's best attainable utility against the
+// mixed policy defined by orderings Q with probabilities po and thresholds
+// b, honoring the no-attack option when the game allows it.
+func (in *Instance) BestResponse(e int, Q []Ordering, po []float64, b Thresholds) float64 {
+	return in.classBestResponse(in.entityClass[e], Q, po, b)
+}
+
+func (in *Instance) classBestResponse(ci int, Q []Ordering, po []float64, b Thresholds) float64 {
+	best := math.Inf(-1)
+	if in.G.AllowNoAttack {
+		best = 0
+	}
+	for _, s := range in.classes[ci].sigs {
+		var u float64
+		for qi, o := range Q {
+			if po[qi] == 0 {
+				continue
+			}
+			u += po[qi] * s.ua(in.Pal(o, b))
+		}
+		if u > best {
+			best = u
+		}
+	}
+	return best
+}
+
+// Loss returns the auditor's expected loss Σ_e p_e·max_v Ua under the
+// mixed policy (Q, po, b) — the objective of Eq. 4.
+func (in *Instance) Loss(Q []Ordering, po []float64, b Thresholds) float64 {
+	var loss float64
+	for ci := range in.classes {
+		if w := in.classes[ci].weight; w != 0 {
+			loss += w * in.classBestResponse(ci, Q, po, b)
+		}
+	}
+	return loss
+}

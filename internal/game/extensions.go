@@ -1,0 +1,208 @@
+package game
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the model extensions the paper's §VII lists as
+// future work:
+//
+//   - non-zero-sum evaluation, where the auditor's loss from a successful
+//     violation differs from the adversary's utility (the adversary's
+//     attack cost, in particular, is not the auditor's gain);
+//   - boundedly rational adversaries following a quantal (logit) response
+//     instead of an exact best response.
+//
+// Both are *evaluation* extensions: the auditor still commits to a policy
+// of the paper's form, and we measure its quality under the richer
+// adversary model. That matches how such extensions are used in the
+// security-games literature (evaluate robustness of the zero-sum policy)
+// and keeps the solution machinery intact.
+
+// AuditorLoss returns the auditor's expected loss under the mixed policy
+// (Q, po, b) when the game is treated as non-zero-sum: each adversary
+// best-responds according to their own utility Ua, but the auditor's
+// exposure from the chosen attack is lossFn(e, v) when the attack goes
+// undetected (and 0 when detected or when the adversary refrains). Ties
+// in the adversary's best response are broken against the auditor —
+// the standard pessimistic (strong Stackelberg-adversarial) convention.
+//
+// lossFn(e, v) is typically the organizational damage of the violation,
+// e.g. the adversary's benefit R without the attack-cost rebate, or a
+// per-record severity. Passing lossFn = nil recovers the zero-sum loss.
+func (in *Instance) AuditorLoss(Q []Ordering, po []float64, b Thresholds,
+	lossFn func(e, v int) float64) (float64, error) {
+	if lossFn == nil {
+		return in.Loss(Q, po, b), nil
+	}
+	if err := in.checkPolicy(Q, po); err != nil {
+		return 0, err
+	}
+	pals := make([][]float64, len(Q))
+	for qi, o := range Q {
+		pals[qi] = in.Pal(o, b)
+	}
+	var total float64
+	for e, ent := range in.G.Entities {
+		if ent.PAttack == 0 {
+			continue
+		}
+		bestUa := math.Inf(-1)
+		bestExposure := 0.0
+		if in.G.AllowNoAttack {
+			bestUa, bestExposure = 0, 0
+		}
+		for v, atk := range in.G.Attacks[e] {
+			ua, pat := in.mixedUa(atk, Q, po, pals)
+			switch {
+			case ua > bestUa+1e-12:
+				bestUa = ua
+				bestExposure = (1 - pat) * lossFn(e, v)
+			case math.Abs(ua-bestUa) <= 1e-12:
+				// Pessimistic tie-break: adversary picks the attack
+				// that hurts the auditor most.
+				if exp := (1 - pat) * lossFn(e, v); exp > bestExposure {
+					bestExposure = exp
+				}
+			}
+		}
+		total += ent.PAttack * bestExposure
+	}
+	return total, nil
+}
+
+// mixedUa returns the adversary's expected utility and detection
+// probability of one attack against the mixed policy.
+func (in *Instance) mixedUa(atk Attack, Q []Ordering, po []float64, pals [][]float64) (ua, pat float64) {
+	for qi := range Q {
+		if po[qi] == 0 {
+			continue
+		}
+		var p float64
+		for t, tp := range atk.TypeProbs {
+			if tp != 0 {
+				p += tp * pals[qi][t]
+			}
+		}
+		pat += po[qi] * p
+	}
+	ua = -pat*atk.Penalty + (1-pat)*atk.Benefit - atk.Cost
+	return ua, pat
+}
+
+// QuantalConfig parameterizes the bounded-rationality evaluation.
+type QuantalConfig struct {
+	// Lambda is the logit precision: 0 is uniformly random victim
+	// choice, +∞ recovers the exact best response. Typical empirical
+	// fits in the security-games literature sit around 0.5–5 for
+	// utilities on the scale of this model.
+	Lambda float64
+}
+
+// QuantalLoss returns the auditor's expected loss when each adversary
+// follows a quantal (logit) response over their victim set: victim v is
+// chosen with probability ∝ exp(λ·Ua(v)). The refrain option (utility 0)
+// participates in the logit when the game allows it. The auditor's loss
+// from a chosen attack is the adversary's utility (zero-sum accounting),
+// floored at 0 for the refrain option.
+func (in *Instance) QuantalLoss(Q []Ordering, po []float64, b Thresholds, cfg QuantalConfig) (float64, error) {
+	if cfg.Lambda < 0 {
+		return 0, fmt.Errorf("game: quantal lambda %v must be ≥ 0", cfg.Lambda)
+	}
+	if err := in.checkPolicy(Q, po); err != nil {
+		return 0, err
+	}
+	pals := make([][]float64, len(Q))
+	for qi, o := range Q {
+		pals[qi] = in.Pal(o, b)
+	}
+	var total float64
+	for e, ent := range in.G.Entities {
+		if ent.PAttack == 0 {
+			continue
+		}
+		uas := make([]float64, 0, len(in.G.Attacks[e])+1)
+		for _, atk := range in.G.Attacks[e] {
+			ua, _ := in.mixedUa(atk, Q, po, pals)
+			uas = append(uas, ua)
+		}
+		if in.G.AllowNoAttack {
+			uas = append(uas, 0)
+		}
+		// Logit weights with max-shift for numerical stability.
+		maxU := uas[0]
+		for _, u := range uas[1:] {
+			if u > maxU {
+				maxU = u
+			}
+		}
+		var z, expected float64
+		for _, u := range uas {
+			w := math.Exp(cfg.Lambda * (u - maxU))
+			z += w
+			expected += w * u
+		}
+		total += ent.PAttack * expected / z
+	}
+	return total, nil
+}
+
+// MultiPeriodLoss evaluates a policy when attacks take k ≥ 1 periods to
+// complete (paper §VII limitation 2: "attacks in the wild may require
+// multiple cycles to fully execute, such that the auditor may be able to
+// capture the attacker before they complete"). Each period independently
+// re-realizes alerts and re-samples the auditor's ordering, so a k-period
+// attack survives undetected with probability (1−Pat)^k; being caught in
+// any period forfeits the benefit and incurs the penalty. k = 1 recovers
+// the one-shot utility exactly. Adversaries best-respond knowing k.
+func (in *Instance) MultiPeriodLoss(Q []Ordering, po []float64, b Thresholds, k int) (float64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("game: attack duration k = %d must be ≥ 1", k)
+	}
+	if err := in.checkPolicy(Q, po); err != nil {
+		return 0, err
+	}
+	pals := make([][]float64, len(Q))
+	for qi, o := range Q {
+		pals[qi] = in.Pal(o, b)
+	}
+	var total float64
+	for e, ent := range in.G.Entities {
+		if ent.PAttack == 0 {
+			continue
+		}
+		best := math.Inf(-1)
+		if in.G.AllowNoAttack {
+			best = 0
+		}
+		for _, atk := range in.G.Attacks[e] {
+			_, pat := in.mixedUa(atk, Q, po, pals)
+			survive := math.Pow(1-pat, float64(k))
+			ua := -(1-survive)*atk.Penalty + survive*atk.Benefit - atk.Cost
+			if ua > best {
+				best = ua
+			}
+		}
+		total += ent.PAttack * best
+	}
+	return total, nil
+}
+
+// checkPolicy validates a mixed policy's shape.
+func (in *Instance) checkPolicy(Q []Ordering, po []float64) error {
+	if len(Q) == 0 || len(Q) != len(po) {
+		return fmt.Errorf("game: policy has %d orderings and %d probabilities", len(Q), len(po))
+	}
+	var sum float64
+	for i, p := range po {
+		if p < -1e-9 {
+			return fmt.Errorf("game: negative probability %v at %d", p, i)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("game: probabilities sum to %v", sum)
+	}
+	return nil
+}

@@ -1,0 +1,263 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"auditgame/internal/dist"
+	"auditgame/internal/sample"
+)
+
+// extInstance builds a 2-type instance with known detection
+// probabilities: budget 3, thresholds (2,2), counts fixed at 2 give
+// pal = (1, 0.5) under ordering (0,1).
+func extInstance(t *testing.T) *Instance {
+	t.Helper()
+	g := &Game{
+		Types: []AlertType{
+			{Name: "A", Cost: 1, Dist: dist.NewPoint(2)},
+			{Name: "B", Cost: 1, Dist: dist.NewPoint(2)},
+		},
+		Entities: []Entity{{Name: "e1", PAttack: 1}},
+		Victims:  []string{"v1", "v2"},
+		Attacks: [][]Attack{{
+			DeterministicAttack(2, 0, 5, 10, 1),
+			DeterministicAttack(2, 1, 4, 10, 1),
+		}},
+	}
+	src, err := sample.NewEnumerator(g.Dists(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewInstance(g, 3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func singleOrderingPolicy() ([]Ordering, []float64) {
+	return []Ordering{{0, 1}}, []float64{1}
+}
+
+func TestAuditorLossNilRecoversZeroSum(t *testing.T) {
+	in := extInstance(t)
+	Q, po := singleOrderingPolicy()
+	b := Thresholds{2, 2}
+	got, err := in.AuditorLoss(Q, po, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := in.Loss(Q, po, b)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AuditorLoss(nil) = %v, want zero-sum %v", got, want)
+	}
+}
+
+func TestAuditorLossUsesAttackerBestResponse(t *testing.T) {
+	in := extInstance(t)
+	Q, po := singleOrderingPolicy()
+	b := Thresholds{2, 2}
+	// Ua(v1) = −10·1 + 0·5 − 1 = −11; Ua(v2) = −5 + 2 − 1 = −4.
+	// Attacker picks v2 (pat = 0.5). Auditor exposure = (1−0.5)·L(v2).
+	lossFn := func(e, v int) float64 {
+		return []float64{100, 8}[v]
+	}
+	got, err := in.AuditorLoss(Q, po, b, lossFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4) > 1e-9 {
+		t.Fatalf("AuditorLoss = %v, want 4 (= 0.5·8 at the attacker's choice)", got)
+	}
+}
+
+func TestAuditorLossPessimisticTieBreak(t *testing.T) {
+	in := extInstance(t)
+	// Make both victims utility-equivalent for the attacker but very
+	// different for the auditor.
+	in.G.Attacks[0][1] = in.G.Attacks[0][0]
+	src, _ := sample.NewEnumerator(in.G.Dists(), 100)
+	in2, err := NewInstance(in.G, 3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Q, po := singleOrderingPolicy()
+	b := Thresholds{2, 2}
+	lossFn := func(e, v int) float64 { return []float64{1, 50}[v] }
+	got, err := in2.AuditorLoss(Q, po, b, lossFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both victims are type-0 attacks with pat = 1 → exposure
+	// (1−1)·L = 0 either way here; use thresholds that leave pat < 1.
+	b = Thresholds{1, 1}
+	got, err = in2.AuditorLoss(Q, po, b, lossFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pal := in2.Pal(Q[0], b)
+	want := (1 - pal[0]) * 50 // pessimistic: the 50-loss victim
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("AuditorLoss = %v, want pessimistic %v", got, want)
+	}
+}
+
+func TestAuditorLossRefrainWhenEverythingNegative(t *testing.T) {
+	in := extInstance(t)
+	in.G.AllowNoAttack = true
+	src, _ := sample.NewEnumerator(in.G.Dists(), 100)
+	in2, err := NewInstance(in.G, 3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Q, po := singleOrderingPolicy()
+	b := Thresholds{2, 2}
+	// Both attacks have negative Ua (−11, −4) → refrain → zero loss
+	// regardless of lossFn.
+	got, err := in2.AuditorLoss(Q, po, b, func(e, v int) float64 { return 1000 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("AuditorLoss = %v, want 0 (deterred)", got)
+	}
+}
+
+func TestQuantalLossLimits(t *testing.T) {
+	in := extInstance(t)
+	Q, po := singleOrderingPolicy()
+	b := Thresholds{2, 2}
+	// λ → ∞ recovers the best response (−4 here).
+	sharp, err := in.QuantalLoss(Q, po, b, QuantalConfig{Lambda: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := in.Loss(Q, po, b)
+	if math.Abs(sharp-want) > 1e-6 {
+		t.Fatalf("λ→∞ quantal loss = %v, want best response %v", sharp, want)
+	}
+	// λ = 0 is the uniform mixture over victims: (−11 + −4)/2 = −7.5.
+	uniform, err := in.QuantalLoss(Q, po, b, QuantalConfig{Lambda: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(uniform-(-7.5)) > 1e-9 {
+		t.Fatalf("λ=0 quantal loss = %v, want -7.5", uniform)
+	}
+}
+
+func TestQuantalLossMonotoneInLambda(t *testing.T) {
+	// Sharper adversaries exploit the policy better: quantal loss is
+	// non-decreasing in λ.
+	in := extInstance(t)
+	Q, po := singleOrderingPolicy()
+	b := Thresholds{2, 2}
+	prev := math.Inf(-1)
+	for _, lambda := range []float64{0, 0.25, 0.5, 1, 2, 4, 16} {
+		got, err := in.QuantalLoss(Q, po, b, QuantalConfig{Lambda: lambda})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev-1e-9 {
+			t.Fatalf("quantal loss decreased at λ=%v: %v after %v", lambda, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestQuantalLossIncludesRefrain(t *testing.T) {
+	in := extInstance(t)
+	in.G.AllowNoAttack = true
+	src, _ := sample.NewEnumerator(in.G.Dists(), 100)
+	in2, err := NewInstance(in.G, 3, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Q, po := singleOrderingPolicy()
+	b := Thresholds{2, 2}
+	// λ = 0 with refrain: (−11 + −4 + 0)/3 = −5.
+	got, err := in2.QuantalLoss(Q, po, b, QuantalConfig{Lambda: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(-5)) > 1e-9 {
+		t.Fatalf("quantal loss = %v, want -5", got)
+	}
+}
+
+func TestMultiPeriodLossKOneMatchesOneShot(t *testing.T) {
+	in := extInstance(t)
+	Q, po := singleOrderingPolicy()
+	b := Thresholds{2, 2}
+	got, err := in.MultiPeriodLoss(Q, po, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := in.Loss(Q, po, b)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("k=1 multi-period %v != one-shot %v", got, want)
+	}
+}
+
+func TestMultiPeriodLossMonotoneInDuration(t *testing.T) {
+	// Longer attacks face compounding detection: the auditor's loss is
+	// non-increasing in k.
+	in := extInstance(t)
+	Q, po := singleOrderingPolicy()
+	b := Thresholds{2, 2}
+	prev := math.Inf(1)
+	for k := 1; k <= 6; k++ {
+		got, err := in.MultiPeriodLoss(Q, po, b, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > prev+1e-9 {
+			t.Fatalf("loss rose with duration at k=%d: %v after %v", k, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestMultiPeriodLossHandComputed(t *testing.T) {
+	// pal = (1, 0.5); attack on v2 has pat = 0.5, R=4, M=10, K=1.
+	// k=2: survive = 0.25 → ua = −0.75·10 + 0.25·4 − 1 = −7.5.
+	// Attack on v1 has pat = 1 → ua = −11 for any k. Best = −7.5.
+	in := extInstance(t)
+	Q, po := singleOrderingPolicy()
+	got, err := in.MultiPeriodLoss(Q, po, Thresholds{2, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(-7.5)) > 1e-9 {
+		t.Fatalf("k=2 loss = %v, want -7.5", got)
+	}
+}
+
+func TestMultiPeriodLossValidation(t *testing.T) {
+	in := extInstance(t)
+	Q, po := singleOrderingPolicy()
+	if _, err := in.MultiPeriodLoss(Q, po, Thresholds{2, 2}, 0); err == nil {
+		t.Fatal("expected error for k = 0")
+	}
+	if _, err := in.MultiPeriodLoss(Q, []float64{2}, Thresholds{2, 2}, 1); err == nil {
+		t.Fatal("expected error for bad policy")
+	}
+}
+
+func TestExtensionValidation(t *testing.T) {
+	in := extInstance(t)
+	b := Thresholds{2, 2}
+	if _, err := in.QuantalLoss(nil, nil, b, QuantalConfig{Lambda: 1}); err == nil {
+		t.Fatal("expected error for empty policy")
+	}
+	if _, err := in.QuantalLoss([]Ordering{{0, 1}}, []float64{0.5}, b, QuantalConfig{Lambda: 1}); err == nil {
+		t.Fatal("expected error for non-normalized policy")
+	}
+	if _, err := in.QuantalLoss([]Ordering{{0, 1}}, []float64{1}, b, QuantalConfig{Lambda: -1}); err == nil {
+		t.Fatal("expected error for negative lambda")
+	}
+	if _, err := in.AuditorLoss([]Ordering{{0, 1}}, []float64{2}, b, func(e, v int) float64 { return 0 }); err == nil {
+		t.Fatal("expected error for bad probabilities")
+	}
+}

@@ -1,0 +1,118 @@
+package game
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"auditgame/internal/dist"
+)
+
+// The JSON game format lets deployments describe an audit game in a
+// config file: alert types with serializable count-distribution specs,
+// entities, victims, and the attack matrix. DecodeJSON is the entry point
+// the auditpolicy CLI uses.
+
+// gameJSON is the wire schema.
+type gameJSON struct {
+	Types         []typeJSON   `json:"types"`
+	Entities      []entityJSON `json:"entities"`
+	Victims       []string     `json:"victims"`
+	Attacks       [][]atkJSON  `json:"attacks"`
+	AllowNoAttack bool         `json:"allow_no_attack"`
+}
+
+type typeJSON struct {
+	Name string    `json:"name"`
+	Cost float64   `json:"cost"`
+	Dist dist.Spec `json:"dist"`
+}
+
+type entityJSON struct {
+	Name    string  `json:"name"`
+	PAttack float64 `json:"p_attack"`
+}
+
+type atkJSON struct {
+	// Type is the 1-based alert type raised deterministically, or 0
+	// for a benign access. TypeProbs, when present, overrides it with
+	// a full stochastic map.
+	Type      int       `json:"type,omitempty"`
+	TypeProbs []float64 `json:"type_probs,omitempty"`
+	Benefit   float64   `json:"benefit"`
+	Penalty   float64   `json:"penalty"`
+	Cost      float64   `json:"cost"`
+}
+
+// DecodeJSON reads a game description and validates it.
+func DecodeJSON(r io.Reader) (*Game, error) {
+	var raw gameJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("game: decode: %w", err)
+	}
+
+	g := &Game{AllowNoAttack: raw.AllowNoAttack, Victims: raw.Victims}
+	for i, t := range raw.Types {
+		d, err := t.Dist.Build()
+		if err != nil {
+			return nil, fmt.Errorf("game: type %d (%s): %w", i, t.Name, err)
+		}
+		g.Types = append(g.Types, AlertType{Name: t.Name, Cost: t.Cost, Dist: d})
+	}
+	for _, e := range raw.Entities {
+		g.Entities = append(g.Entities, Entity{Name: e.Name, PAttack: e.PAttack})
+	}
+	nT := len(g.Types)
+	g.Attacks = make([][]Attack, len(raw.Attacks))
+	for e, row := range raw.Attacks {
+		g.Attacks[e] = make([]Attack, len(row))
+		for v, a := range row {
+			atk := Attack{Benefit: a.Benefit, Penalty: a.Penalty, Cost: a.Cost}
+			switch {
+			case a.TypeProbs != nil:
+				atk.TypeProbs = a.TypeProbs
+			case a.Type == 0:
+				atk.TypeProbs = make([]float64, nT)
+			default:
+				if a.Type < 1 || a.Type > nT {
+					return nil, fmt.Errorf("game: attack [%d][%d] has type %d outside 1..%d", e, v, a.Type, nT)
+				}
+				atk.TypeProbs = make([]float64, nT)
+				atk.TypeProbs[a.Type-1] = 1
+			}
+			g.Attacks[e][v] = atk
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// TemplateJSON returns a commented-by-example game description: a small
+// two-type deployment users can copy and edit.
+func TemplateJSON() string {
+	return `{
+  "types": [
+    {"name": "after-hours access", "cost": 1,
+     "dist": {"kind": "gaussian", "mean": 6, "std": 2, "coverage": 0.995}},
+    {"name": "masquerade login", "cost": 2,
+     "dist": {"kind": "poisson", "lambda": 3, "coverage": 0.999}}
+  ],
+  "entities": [
+    {"name": "contractor", "p_attack": 0.3},
+    {"name": "dba", "p_attack": 0.1}
+  ],
+  "victims": ["payroll-db", "customer-db"],
+  "attacks": [
+    [{"type": 1, "benefit": 9, "penalty": 12, "cost": 1},
+     {"type": 2, "benefit": 7, "penalty": 12, "cost": 1}],
+    [{"type": 1, "benefit": 5, "penalty": 12, "cost": 1},
+     {"type": 2, "benefit": 11, "penalty": 12, "cost": 1}]
+  ],
+  "allow_no_attack": true
+}
+`
+}

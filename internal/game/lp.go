@@ -1,0 +1,141 @@
+package game
+
+import (
+	"fmt"
+
+	"auditgame/internal/lp"
+)
+
+// LPResult is the solution of the fixed-threshold restricted game LP
+// (Eq. 5 with the ordering set restricted to Q).
+type LPResult struct {
+	// Objective is the auditor's minimized expected loss Σ_e p_e·u_e.
+	Objective float64
+	// Po[qi] is the probability assigned to ordering Q[qi].
+	Po []float64
+	// Ue[e] is the equilibrium best-response utility of entity e
+	// (entities in the same equivalence class share a value).
+	Ue []float64
+	// RowDuals[c][s] is the shadow price of the best-response constraint
+	// for entity class c's s-th attack signature; SimplexDual is the
+	// shadow price of Σ p_o = 1. Together they price candidate columns
+	// in column generation: rc(o) = −(Σ_{c,s} RowDuals[c][s]·Ua(o,b,c,s)
+	// + SimplexDual).
+	RowDuals    [][]float64
+	SimplexDual float64
+	// Iterations counts simplex pivots.
+	Iterations int
+}
+
+// SolveFixed solves the zero-sum LP of Eq. 5 with thresholds b fixed and
+// the auditor's orderings restricted to the set Q:
+//
+//	min  Σ_e p_e·u_e
+//	s.t. Σ_o p_o·Ua(o,b,⟨e,v⟩) − u_e ≤ 0     ∀e, ∀ distinct v-signature
+//	     u_e ≥ 0                              (when AllowNoAttack)
+//	     Σ_o p_o = 1,  p_o ≥ 0,  u_e free
+func (in *Instance) SolveFixed(Q []Ordering, b Thresholds) (*LPResult, error) {
+	if len(Q) == 0 {
+		return nil, fmt.Errorf("game: SolveFixed needs at least one ordering")
+	}
+	if len(b) != len(in.G.Types) {
+		return nil, fmt.Errorf("game: thresholds have %d entries, want |T| = %d", len(b), len(in.G.Types))
+	}
+	for qi, o := range Q {
+		if !o.ValidPermutation(len(in.G.Types)) {
+			return nil, fmt.Errorf("game: Q[%d] = %v is not a permutation of the %d types", qi, o, len(in.G.Types))
+		}
+	}
+
+	// Pal per ordering, then Ua rows per (ordering, entity signature).
+	pals := make([][]float64, len(Q))
+	for qi, o := range Q {
+		pals[qi] = in.Pal(o, b)
+	}
+
+	p := lp.NewProblem(lp.Minimize)
+	poVars := make([]lp.Var, len(Q))
+	for qi := range Q {
+		poVars[qi] = p.AddVar(fmt.Sprintf("po_%d", qi), lp.NonNegative, 0)
+	}
+	ueVars := make([]lp.Var, len(in.classes))
+	for ci, cl := range in.classes {
+		ueVars[ci] = p.AddVar(fmt.Sprintf("u_%d", ci), lp.Free, cl.weight)
+	}
+
+	rowCons := make([][]lp.Constr, len(in.classes))
+	for ci, cl := range in.classes {
+		rowCons[ci] = make([]lp.Constr, len(cl.sigs))
+		for s, sig := range cl.sigs {
+			c := p.AddConstr(fmt.Sprintf("br_%d_%d", ci, s), lp.LE, 0)
+			for qi := range Q {
+				c2 := sig.ua(pals[qi])
+				if c2 != 0 {
+					p.SetCoeff(c, poVars[qi], c2)
+				}
+			}
+			p.SetCoeff(c, ueVars[ci], -1)
+			rowCons[ci][s] = c
+		}
+		if in.G.AllowNoAttack {
+			c := p.AddConstr(fmt.Sprintf("refrain_%d", ci), lp.GE, 0)
+			p.SetCoeff(c, ueVars[ci], 1)
+		}
+	}
+	sumCon := p.AddConstr("simplex", lp.EQ, 1)
+	for _, v := range poVars {
+		p.SetCoeff(sumCon, v, 1)
+	}
+
+	sol, err := p.Solve(lp.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("game: restricted LP not optimal: %v", sol.Status)
+	}
+
+	res := &LPResult{
+		Objective:   sol.Objective,
+		Po:          make([]float64, len(Q)),
+		Ue:          make([]float64, len(in.G.Entities)),
+		RowDuals:    make([][]float64, len(in.classes)),
+		SimplexDual: sol.Dual[sumCon],
+		Iterations:  sol.Iterations,
+	}
+	for qi := range Q {
+		v := sol.Value(poVars[qi])
+		if v < 0 {
+			v = 0
+		}
+		res.Po[qi] = v
+	}
+	for e := range in.G.Entities {
+		res.Ue[e] = sol.Value(ueVars[in.entityClass[e]])
+	}
+	for ci := range in.classes {
+		res.RowDuals[ci] = make([]float64, len(rowCons[ci]))
+		for s, c := range rowCons[ci] {
+			res.RowDuals[ci][s] = sol.Dual[c]
+		}
+	}
+	return res, nil
+}
+
+// ReducedCost prices a candidate ordering column o against the duals of a
+// previously solved restricted LP. Negative means o improves the LP.
+// Partial orderings are priced too (types absent are never audited), which
+// is what the greedy CGGS oracle exploits.
+func (in *Instance) ReducedCost(res *LPResult, o Ordering, b Thresholds) float64 {
+	pal := in.Pal(o, b)
+	var priced float64
+	for ci := range in.classes {
+		for s, sig := range in.classes[ci].sigs {
+			d := res.RowDuals[ci][s]
+			if d != 0 {
+				priced += d * sig.ua(pal)
+			}
+		}
+	}
+	return -(priced + res.SimplexDual)
+}

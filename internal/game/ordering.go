@@ -1,0 +1,108 @@
+package game
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Ordering is a priority order over alert types: Ordering[i] is the type
+// index audited at position i. A valid ordering is a permutation of
+// 0..|T|-1; prefixes (partial orderings) arise inside the CGGS column
+// oracle, where types absent from the ordering are never audited.
+type Ordering []int
+
+// Key returns a canonical string key for map lookups and caching.
+func (o Ordering) Key() string {
+	var b strings.Builder
+	for i, t := range o {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(t))
+	}
+	return b.String()
+}
+
+// String renders the ordering 1-based, matching the paper's tables (e.g.
+// "[2,1,3,4]").
+func (o Ordering) String() string {
+	parts := make([]string, len(o))
+	for i, t := range o {
+		parts[i] = strconv.Itoa(t + 1)
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// Clone returns a copy of o.
+func (o Ordering) Clone() Ordering {
+	c := make(Ordering, len(o))
+	copy(c, o)
+	return c
+}
+
+// ValidPermutation reports whether o is a permutation of 0..n-1.
+func (o Ordering) ValidPermutation(n int) bool {
+	if len(o) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, t := range o {
+		if t < 0 || t >= n || seen[t] {
+			return false
+		}
+		seen[t] = true
+	}
+	return true
+}
+
+// AllOrderings enumerates every permutation of n alert types in a
+// deterministic order. It refuses n > 8 (8! = 40320) because full
+// enumeration beyond that is never the right tool — use column generation.
+func AllOrderings(n int) []Ordering {
+	if n <= 0 {
+		return nil
+	}
+	if n > 8 {
+		panic(fmt.Sprintf("game: AllOrderings(%d): refusing to enumerate more than 8! permutations", n))
+	}
+	base := make(Ordering, n)
+	for i := range base {
+		base[i] = i
+	}
+	var out []Ordering
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, base.Clone())
+			return
+		}
+		for i := k; i < n; i++ {
+			base[k], base[i] = base[i], base[k]
+			rec(k + 1)
+			base[k], base[i] = base[i], base[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// ParseOrdering parses the 1-based bracket rendering produced by String.
+func ParseOrdering(s string) (Ordering, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "[")
+	s = strings.TrimSuffix(s, "]")
+	if s == "" {
+		return nil, fmt.Errorf("game: empty ordering")
+	}
+	parts := strings.Split(s, ",")
+	o := make(Ordering, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("game: bad ordering element %q: %v", p, err)
+		}
+		o[i] = v - 1
+	}
+	return o, nil
+}

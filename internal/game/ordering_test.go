@@ -1,0 +1,105 @@
+package game
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllOrderingsCount(t *testing.T) {
+	want := []int{0, 1, 2, 6, 24, 120}
+	for n := 0; n <= 5; n++ {
+		got := len(AllOrderings(n))
+		if got != want[n] {
+			t.Fatalf("AllOrderings(%d) has %d entries, want %d", n, got, want[n])
+		}
+	}
+}
+
+func TestAllOrderingsAreDistinctPermutations(t *testing.T) {
+	seen := map[string]bool{}
+	for _, o := range AllOrderings(4) {
+		if !o.ValidPermutation(4) {
+			t.Fatalf("%v is not a permutation", o)
+		}
+		k := o.Key()
+		if seen[k] {
+			t.Fatalf("duplicate ordering %v", o)
+		}
+		seen[k] = true
+	}
+}
+
+func TestAllOrderingsRefusesLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n > 8")
+		}
+	}()
+	AllOrderings(9)
+}
+
+func TestOrderingStringAndParseRoundTrip(t *testing.T) {
+	o := Ordering{1, 0, 3, 2}
+	s := o.String()
+	if s != "[2,1,4,3]" {
+		t.Fatalf("String = %q", s)
+	}
+	back, err := ParseOrdering(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Key() != o.Key() {
+		t.Fatalf("roundtrip %v → %v", o, back)
+	}
+}
+
+func TestParseOrderingErrors(t *testing.T) {
+	if _, err := ParseOrdering(""); err == nil {
+		t.Fatal("expected error for empty string")
+	}
+	if _, err := ParseOrdering("[1,x]"); err == nil {
+		t.Fatal("expected error for non-numeric")
+	}
+}
+
+func TestValidPermutation(t *testing.T) {
+	cases := []struct {
+		o    Ordering
+		n    int
+		want bool
+	}{
+		{Ordering{0, 1, 2}, 3, true},
+		{Ordering{2, 1, 0}, 3, true},
+		{Ordering{0, 1}, 3, false},
+		{Ordering{0, 0, 1}, 3, false},
+		{Ordering{0, 1, 3}, 3, false},
+		{Ordering{-1, 1, 2}, 3, false},
+	}
+	for _, tc := range cases {
+		if got := tc.o.ValidPermutation(tc.n); got != tc.want {
+			t.Errorf("ValidPermutation(%v, %d) = %v, want %v", tc.o, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestOrderingCloneIndependent(t *testing.T) {
+	o := Ordering{0, 1, 2}
+	c := o.Clone()
+	c[0] = 9
+	if o[0] != 0 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+// Property: String/Parse round-trips for arbitrary small permutations.
+func TestOrderingRoundTripProperty(t *testing.T) {
+	perms := AllOrderings(5)
+	f := func(idx uint16) bool {
+		o := perms[int(idx)%len(perms)]
+		back, err := ParseOrdering(o.String())
+		return err == nil && back.Key() == o.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

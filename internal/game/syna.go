@@ -1,0 +1,63 @@
+package game
+
+import "auditgame/internal/dist"
+
+// synAMatrix is Table IIb: the alert type (1-based, 0 = benign) triggered
+// when employee e accesses record r.
+var synAMatrix = [5][8]int{
+	{0, 3, 2, 2, 3, 4, 3, 1},
+	{1, 0, 1, 1, 1, 2, 1, 1},
+	{1, 3, 4, 0, 1, 3, 1, 4},
+	{2, 1, 3, 1, 4, 4, 2, 2},
+	{2, 3, 1, 4, 2, 1, 3, 2},
+}
+
+// SynA builds the controlled synthetic dataset of paper §IV (Table II):
+// five potential attackers, eight records, four alert types with
+// discretized Gaussian daily counts, deterministic alert triggering,
+// per-type adversary benefits, uniform attack cost 0.4, uniform audit cost
+// 1, capture penalty 4, and p_e = 1 (the paper's "artificially high
+// incidence … to facilitate a comparison with a brute-force approach").
+func SynA() *Game {
+	means := []float64{6, 5, 4, 4}
+	stds := []float64{2, 1.6, 1.3, 1}
+	halfWidths := []int{5, 4, 3, 3}
+	benefits := []float64{3.4, 3.7, 4, 4.3}
+	const (
+		attackCost = 0.4
+		auditCost  = 1
+		penalty    = 4
+	)
+
+	g := &Game{AllowNoAttack: false}
+	for t := 0; t < 4; t++ {
+		g.Types = append(g.Types, AlertType{
+			Name: typeName(t),
+			Cost: auditCost,
+			Dist: dist.NewGaussianHalfWidth(means[t], stds[t], halfWidths[t]),
+		})
+	}
+	for e := 0; e < 5; e++ {
+		g.Entities = append(g.Entities, Entity{Name: employeeName(e), PAttack: 1})
+	}
+	for r := 0; r < 8; r++ {
+		g.Victims = append(g.Victims, recordName(r))
+	}
+	g.Attacks = make([][]Attack, 5)
+	for e := 0; e < 5; e++ {
+		g.Attacks[e] = make([]Attack, 8)
+		for r := 0; r < 8; r++ {
+			t := synAMatrix[e][r] - 1 // to 0-based; -1 = benign
+			benefit := 0.0
+			if t >= 0 {
+				benefit = benefits[t]
+			}
+			g.Attacks[e][r] = DeterministicAttack(4, t, benefit, penalty, attackCost)
+		}
+	}
+	return g
+}
+
+func typeName(t int) string     { return "Type " + string(rune('1'+t)) }
+func employeeName(e int) string { return "e" + string(rune('1'+e)) }
+func recordName(r int) string   { return "r" + string(rune('1'+r)) }

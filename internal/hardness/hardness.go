@@ -1,0 +1,188 @@
+// Package hardness implements the paper's NP-hardness argument (Theorem 1
+// and its appendix proof) as executable code: a 0-1 Knapsack solver, the
+// reduction from Knapsack to the Optimal Auditing Problem, and the
+// correspondence check between the two. Running the reduction end-to-end
+// on small instances — solving the produced OAP by brute force and the
+// Knapsack by dynamic programming — demonstrates the equivalence the
+// proof claims:
+//
+//	OAP objective ≤ θ = |E| − K  ⟺  some R ⊆ I has value ≥ K, weight ≤ W.
+package hardness
+
+import (
+	"fmt"
+
+	"auditgame/internal/dist"
+	"auditgame/internal/game"
+)
+
+// Item is one 0-1 Knapsack item with integer weight and value.
+type Item struct {
+	Weight, Value int
+}
+
+// Knapsack is a 0-1 Knapsack instance: is there a subset of items with
+// total value ≥ K and total weight ≤ W?
+type Knapsack struct {
+	Items []Item
+	W     int // weight budget
+	K     int // value threshold
+}
+
+// Validate checks the instance is well-formed (non-negative integers).
+func (k Knapsack) Validate() error {
+	if k.W < 0 || k.K < 0 {
+		return fmt.Errorf("hardness: negative W=%d or K=%d", k.W, k.K)
+	}
+	for i, it := range k.Items {
+		if it.Weight < 0 || it.Value < 0 {
+			return fmt.Errorf("hardness: item %d has negative weight/value", i)
+		}
+	}
+	return nil
+}
+
+// Solve answers the decision problem exactly by dynamic programming over
+// weights: maxValue[w] = best value achievable with total weight ≤ w.
+func (k Knapsack) Solve() (bool, error) {
+	if err := k.Validate(); err != nil {
+		return false, err
+	}
+	best := make([]int, k.W+1)
+	for _, it := range k.Items {
+		if it.Weight > k.W {
+			continue
+		}
+		for w := k.W; w >= it.Weight; w-- {
+			if v := best[w-it.Weight] + it.Value; v > best[w] {
+				best[w] = v
+			}
+		}
+	}
+	return best[k.W] >= k.K, nil
+}
+
+// Reduction is the OAP instance produced from a Knapsack instance,
+// together with the decision threshold θ.
+type Reduction struct {
+	Game  *game.Game
+	Theta float64
+	// NumAttackers = Σ v_i = |E|; θ = |E| − K.
+	NumAttackers int
+}
+
+// Reduce builds the paper's appendix construction:
+//
+//   - one alert type per item, with audit cost C_i = w_i and the count
+//     pinned at Z_t = 1 (point mass), so the threshold choice b_t ∈ {0,1}
+//     is exactly "select item i or not" under budget B = W;
+//   - v_i attackers per item, each with a unique victim whose attack
+//     deterministically raises type i, R = 1, M = K(attack) = 0, p_e = 1;
+//   - a single fixed ordering is forced implicitly: with Z_t = 1 the
+//     order is irrelevant (any budget-feasible selected type audits its
+//     one alert with certainty).
+//
+// Then max_v Ua(e) = 1 iff entity e's type is unaudited, so the OAP
+// objective equals the number of attackers whose item is NOT selected,
+// and objective ≤ θ = |E| − K iff the selected items' value is ≥ K.
+func Reduce(k Knapsack) (*Reduction, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	if len(k.Items) == 0 {
+		return nil, fmt.Errorf("hardness: empty knapsack instance")
+	}
+	g := &game.Game{AllowNoAttack: false}
+	for i, it := range k.Items {
+		cost := float64(it.Weight)
+		if cost == 0 {
+			// Zero-weight items are free to select; give them an
+			// epsilon audit cost so the game validates, preserving
+			// the reduction (they fit any budget).
+			cost = 1e-9
+		}
+		g.Types = append(g.Types, game.AlertType{
+			Name: fmt.Sprintf("item%d", i+1),
+			Cost: cost,
+			Dist: dist.NewPoint(1),
+		})
+	}
+	red := &Reduction{Game: g}
+	for i, it := range k.Items {
+		for c := 0; c < it.Value; c++ {
+			e := len(g.Entities)
+			g.Entities = append(g.Entities, game.Entity{
+				Name:    fmt.Sprintf("atk_i%d_%d", i+1, c),
+				PAttack: 1,
+			})
+			// Unique victim per attacker: the victim whose alert type
+			// is t(e) = i, with R = 1 and M = K = 0 (appendix).
+			v := len(g.Victims)
+			g.Victims = append(g.Victims, fmt.Sprintf("victim_i%d_%d", i+1, c))
+			_ = v
+			_ = e
+		}
+	}
+	if len(g.Entities) == 0 {
+		return nil, fmt.Errorf("hardness: instance has zero total value; decision is trivially %v", k.K == 0)
+	}
+	// Attack matrix: attacker e (belonging to item i) attacking their own
+	// victim raises type i with benefit 1; attacking anyone else's victim
+	// is a benign no-op (R = 0), so the best response is always the own
+	// victim — matching "a unique type t(e) with R = 1 iff v = t(e)".
+	g.Attacks = make([][]game.Attack, len(g.Entities))
+	owner := ownersByEntity(k)
+	for e := range g.Entities {
+		g.Attacks[e] = make([]game.Attack, len(g.Victims))
+		for v := range g.Victims {
+			if v == e { // victims were appended in entity order
+				g.Attacks[e][v] = game.DeterministicAttack(len(g.Types), owner[e], 1, 0, 0)
+			} else {
+				g.Attacks[e][v] = game.DeterministicAttack(len(g.Types), -1, 0, 0, 0)
+			}
+		}
+	}
+	red.NumAttackers = len(g.Entities)
+	red.Theta = float64(red.NumAttackers - k.K)
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("hardness: reduction produced invalid game: %v", err)
+	}
+	return red, nil
+}
+
+// ownersByEntity maps entity index → item index in the reduction.
+func ownersByEntity(k Knapsack) []int {
+	var owner []int
+	for i, it := range k.Items {
+		for c := 0; c < it.Value; c++ {
+			owner = append(owner, i)
+		}
+	}
+	return owner
+}
+
+// ObjectiveFor evaluates the reduced OAP objective for an explicit item
+// selection (the certificate side of the equivalence): with Z_t = 1 the
+// auditor's loss is exactly the number of attackers whose item is
+// unselected, provided the selection fits the weight budget.
+func (r *Reduction) ObjectiveFor(k Knapsack, selected []bool) (float64, error) {
+	if len(selected) != len(k.Items) {
+		return 0, fmt.Errorf("hardness: selection has %d entries for %d items", len(selected), len(k.Items))
+	}
+	weight := 0
+	for i, sel := range selected {
+		if sel {
+			weight += k.Items[i].Weight
+		}
+	}
+	if weight > k.W {
+		return 0, fmt.Errorf("hardness: selection weight %d exceeds budget %d", weight, k.W)
+	}
+	var loss float64
+	for _, item := range ownersByEntity(k) {
+		if !selected[item] {
+			loss++
+		}
+	}
+	return loss, nil
+}

@@ -1,0 +1,174 @@
+package hardness
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"auditgame/internal/game"
+	"auditgame/internal/sample"
+	"auditgame/internal/solver"
+)
+
+func TestKnapsackSolveKnownInstances(t *testing.T) {
+	cases := []struct {
+		name string
+		k    Knapsack
+		want bool
+	}{
+		{"trivial yes", Knapsack{Items: []Item{{1, 5}}, W: 1, K: 5}, true},
+		{"trivial no", Knapsack{Items: []Item{{2, 5}}, W: 1, K: 1}, false},
+		{"classic", Knapsack{Items: []Item{{2, 3}, {3, 4}, {4, 5}, {5, 6}}, W: 5, K: 7}, true},
+		{"classic tight no", Knapsack{Items: []Item{{2, 3}, {3, 4}, {4, 5}, {5, 6}}, W: 5, K: 8}, false},
+		{"zero K always yes", Knapsack{Items: []Item{{9, 9}}, W: 0, K: 0}, true},
+	}
+	for _, tc := range cases {
+		got, err := tc.k.Solve()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: Solve = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestKnapsackValidate(t *testing.T) {
+	if _, err := (Knapsack{W: -1}).Solve(); err == nil {
+		t.Fatal("expected error for negative W")
+	}
+	if _, err := (Knapsack{Items: []Item{{-1, 1}}, W: 1, K: 1}).Solve(); err == nil {
+		t.Fatal("expected error for negative weight")
+	}
+}
+
+func TestReduceShape(t *testing.T) {
+	k := Knapsack{Items: []Item{{2, 3}, {3, 2}}, W: 3, K: 3}
+	red, err := Reduce(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(red.Game.Types) != 2 {
+		t.Fatalf("types = %d", len(red.Game.Types))
+	}
+	if red.NumAttackers != 5 || len(red.Game.Entities) != 5 {
+		t.Fatalf("attackers = %d, want Σv = 5", red.NumAttackers)
+	}
+	if red.Theta != 2 {
+		t.Fatalf("theta = %v, want |E|−K = 2", red.Theta)
+	}
+	if err := red.Game.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceErrors(t *testing.T) {
+	if _, err := Reduce(Knapsack{}); err == nil {
+		t.Fatal("expected error for empty instance")
+	}
+	if _, err := Reduce(Knapsack{Items: []Item{{1, 0}}, W: 1, K: 0}); err == nil {
+		t.Fatal("expected error for zero total value")
+	}
+}
+
+// solveReducedOAP brute-forces the reduced OAP with the actual game
+// machinery (budget B = W) and returns the optimal objective.
+func solveReducedOAP(t *testing.T, red *Reduction, W int) float64 {
+	t.Helper()
+	src, err := sample.NewEnumerator(red.Game.Dists(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := game.NewInstance(red.Game, float64(W), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := solver.BruteForce(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bf.Policy.Objective
+}
+
+// The theorem's equivalence, executed: for a set of small instances, the
+// Knapsack answer matches "OAP optimum ≤ θ" with the OAP solved by the
+// real brute-force machinery.
+func TestReductionEquivalenceOnRealSolver(t *testing.T) {
+	cases := []Knapsack{
+		{Items: []Item{{2, 3}, {3, 2}}, W: 3, K: 3},         // yes: take item 1
+		{Items: []Item{{2, 3}, {3, 2}}, W: 3, K: 4},         // no
+		{Items: []Item{{1, 1}, {1, 1}, {2, 3}}, W: 2, K: 3}, // yes
+		{Items: []Item{{1, 1}, {1, 1}, {2, 3}}, W: 1, K: 2}, // no
+		{Items: []Item{{1, 2}, {2, 2}}, W: 3, K: 4},         // yes: both
+	}
+	for i, k := range cases {
+		want, err := k.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := Reduce(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj := solveReducedOAP(t, red, k.W)
+		got := obj <= red.Theta+1e-9
+		if got != want {
+			t.Errorf("case %d: knapsack=%v but OAP obj %v vs θ %v → %v", i, want, obj, red.Theta, got)
+		}
+	}
+}
+
+// Property: for random tiny instances, the DP answer and the reduced-OAP
+// certificate check agree. (The full LP solve is exercised above; here
+// the certificate evaluator keeps the property test fast.)
+func TestReductionCertificateProperty(t *testing.T) {
+	f := func(w1, w2, v1, v2, Wr, Kr uint8) bool {
+		k := Knapsack{
+			Items: []Item{
+				{Weight: int(w1%4) + 1, Value: int(v1%3) + 1},
+				{Weight: int(w2%4) + 1, Value: int(v2%3) + 1},
+			},
+			W: int(Wr % 6),
+			K: int(Kr % 6),
+		}
+		want, err := k.Solve()
+		if err != nil {
+			return false
+		}
+		red, err := Reduce(k)
+		if err != nil {
+			return false
+		}
+		// Enumerate all 4 selections; the best feasible objective
+		// decides the OAP side.
+		best := math.Inf(1)
+		for mask := 0; mask < 4; mask++ {
+			sel := []bool{mask&1 != 0, mask&2 != 0}
+			obj, err := red.ObjectiveFor(k, sel)
+			if err != nil {
+				continue // infeasible selection
+			}
+			if obj < best {
+				best = obj
+			}
+		}
+		return (best <= red.Theta+1e-9) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectiveForValidation(t *testing.T) {
+	k := Knapsack{Items: []Item{{2, 1}}, W: 1, K: 1}
+	red, err := Reduce(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := red.ObjectiveFor(k, []bool{true, false}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := red.ObjectiveFor(k, []bool{true}); err == nil {
+		t.Fatal("expected weight error (item heavier than budget)")
+	}
+}

@@ -1,0 +1,266 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs. It exists because the audit-game pipeline (column generation in
+// particular) needs exact primal and dual solutions and the Go standard
+// library ships no optimization code.
+//
+// The solver handles minimization and maximization, ≤ / ≥ / = constraints,
+// non-negative and free variables, and reports shadow prices (duals) for
+// every constraint. It targets the problem sizes that arise in the paper —
+// hundreds of rows and columns — where a dense tableau is both simple and
+// fast. Anti-cycling is handled by switching from Dantzig to Bland's rule
+// after a stall.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the optimization direction.
+type Sense int
+
+const (
+	// Minimize selects minimization of the objective.
+	Minimize Sense = iota
+	// Maximize selects maximization of the objective.
+	Maximize
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+const (
+	// LE is a ≤ constraint.
+	LE Rel = iota
+	// GE is a ≥ constraint.
+	GE
+	// EQ is an equality constraint.
+	EQ
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return fmt.Sprintf("Rel(%d)", int(r))
+}
+
+// Bound describes the domain of a variable.
+type Bound int
+
+const (
+	// NonNegative constrains a variable to x ≥ 0.
+	NonNegative Bound = iota
+	// Free leaves a variable unbounded in sign.
+	Free
+)
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means no feasible point exists.
+	Infeasible
+	// Unbounded means the objective is unbounded in the optimization
+	// direction.
+	Unbounded
+	// IterationLimit means the solver hit MaxIter before converging.
+	IterationLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration-limit"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// ErrNotSolved is returned when a solution is requested in a state where
+// none exists.
+var ErrNotSolved = errors.New("lp: problem not solved to optimality")
+
+// Var identifies a variable in a Problem.
+type Var int
+
+// Constr identifies a constraint in a Problem.
+type Constr int
+
+type variable struct {
+	name  string
+	bound Bound
+	obj   float64
+	// shift is the finite lower bound of a bounded variable: the
+	// solver works with s = x − shift ≥ 0 and reports x = shift + s.
+	shift float64
+}
+
+type constraint struct {
+	name  string
+	rel   Rel
+	rhs   float64
+	coeff map[Var]float64
+}
+
+// Problem is a linear program under construction. The zero value is not
+// usable; call NewProblem.
+type Problem struct {
+	sense Sense
+	vars  []variable
+	cons  []constraint
+}
+
+// NewProblem returns an empty problem with the given optimization sense.
+func NewProblem(sense Sense) *Problem {
+	return &Problem{sense: sense}
+}
+
+// Sense returns the optimization direction of the problem.
+func (p *Problem) Sense() Sense { return p.sense }
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.vars) }
+
+// NumConstrs returns the number of constraints added so far.
+func (p *Problem) NumConstrs() int { return len(p.cons) }
+
+// AddVar adds a variable with the given name, bound and objective
+// coefficient, returning its handle.
+func (p *Problem) AddVar(name string, bound Bound, obj float64) Var {
+	p.vars = append(p.vars, variable{name: name, bound: bound, obj: obj})
+	return Var(len(p.vars) - 1)
+}
+
+// AddBoundedVar adds a variable constrained to lo ≤ x ≤ hi. Either bound
+// may be infinite (math.Inf). Internally the solver shifts the variable
+// by its finite lower bound and adds a row for a finite upper bound, so
+// the handle behaves exactly like any other Var (values are reported in
+// the original coordinates).
+func (p *Problem) AddBoundedVar(name string, lo, hi, obj float64) Var {
+	if lo > hi {
+		panic(fmt.Sprintf("lp: AddBoundedVar(%s): lo %v > hi %v", name, lo, hi))
+	}
+	var v Var
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		v = p.AddVar(name, Free, obj)
+	case math.IsInf(lo, -1):
+		// x ≤ hi only: substitute x = hi − y with y ≥ 0. Rather than a
+		// substitution (which would touch every row), keep x free and
+		// add the upper-bound row.
+		v = p.AddVar(name, Free, obj)
+		p.AddRow(name+"_ub", []Var{v}, []float64{1}, LE, hi)
+	default:
+		// Finite lower bound: represent x = lo + s with s ≥ 0 by
+		// recording the shift; an upper bound becomes s ≤ hi − lo.
+		v = p.AddVar(name, NonNegative, obj)
+		p.vars[v].shift = lo
+		if !math.IsInf(hi, 1) {
+			p.AddRow(name+"_ub", []Var{v}, []float64{1}, LE, hi)
+		}
+	}
+	return v
+}
+
+// SetObj overwrites the objective coefficient of v.
+func (p *Problem) SetObj(v Var, obj float64) {
+	p.vars[v].obj = obj
+}
+
+// AddConstr adds an empty constraint "· rel rhs" and returns its handle.
+// Populate it with SetCoeff.
+func (p *Problem) AddConstr(name string, rel Rel, rhs float64) Constr {
+	p.cons = append(p.cons, constraint{name: name, rel: rel, rhs: rhs, coeff: make(map[Var]float64)})
+	return Constr(len(p.cons) - 1)
+}
+
+// SetCoeff sets the coefficient of variable v in constraint c. Setting a
+// coefficient twice overwrites.
+func (p *Problem) SetCoeff(c Constr, v Var, coeff float64) {
+	if int(v) < 0 || int(v) >= len(p.vars) {
+		panic(fmt.Sprintf("lp: SetCoeff: variable %d out of range [0,%d)", v, len(p.vars)))
+	}
+	p.cons[c].coeff[v] = coeff
+}
+
+// AddRow is a convenience that adds a fully-populated constraint in one
+// call: Σ coeffs[i]·vars[i] rel rhs.
+func (p *Problem) AddRow(name string, vars []Var, coeffs []float64, rel Rel, rhs float64) Constr {
+	if len(vars) != len(coeffs) {
+		panic(fmt.Sprintf("lp: AddRow: %d vars but %d coeffs", len(vars), len(coeffs)))
+	}
+	c := p.AddConstr(name, rel, rhs)
+	for i, v := range vars {
+		p.SetCoeff(c, v, coeffs[i])
+	}
+	return c
+}
+
+// Solution holds the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	Objective float64
+	// X holds the primal value of each variable, indexed by Var.
+	X []float64
+	// Dual holds the shadow price of each constraint, indexed by Constr:
+	// the derivative of the optimal objective with respect to that
+	// constraint's right-hand side.
+	Dual []float64
+	// Iterations is the total number of simplex pivots across both
+	// phases.
+	Iterations int
+}
+
+// Value returns the primal value of v. It panics if the solution does not
+// carry primal values (non-optimal statuses).
+func (s *Solution) Value(v Var) float64 { return s.X[v] }
+
+// Options tunes the solver.
+type Options struct {
+	// MaxIter caps simplex pivots per phase. Zero means a generous
+	// default derived from the problem size.
+	MaxIter int
+	// Eps is the feasibility/optimality tolerance. Zero means 1e-9.
+	Eps float64
+	// Bland forces Bland's rule from the first pivot (used by the
+	// pivot-rule ablation; normally the solver starts with Dantzig and
+	// falls back on stall).
+	Bland bool
+}
+
+func (o Options) withDefaults(m, n int) Options {
+	if o.MaxIter == 0 {
+		o.MaxIter = 200 * (m + n + 10)
+	}
+	if o.Eps == 0 {
+		o.Eps = 1e-9
+	}
+	return o
+}
+
+// Solve runs the two-phase simplex method and returns the solution.
+// The returned error is non-nil only for malformed problems; infeasibility
+// and unboundedness are reported through Solution.Status.
+func (p *Problem) Solve(opts Options) (*Solution, error) {
+	if len(p.vars) == 0 {
+		return nil, errors.New("lp: problem has no variables")
+	}
+	std := p.toStandard()
+	o := opts.withDefaults(std.m, std.n)
+	res := std.simplex(o)
+	return p.fromStandard(std, res), nil
+}

@@ -1,0 +1,282 @@
+package lp
+
+import (
+	"math"
+
+	"auditgame/internal/matrix"
+)
+
+// simplexResult is the raw outcome of the two-phase method on a
+// standard-form problem.
+type simplexResult struct {
+	status Status
+	obj    float64
+	x      matrix.Vector // length n (structural columns only)
+	y      matrix.Vector // length m (equality-form duals, one per row)
+	iters  int
+}
+
+// tableau is a full-tableau simplex working set. Columns are laid out as
+// [structural 0..n) | artificial n..n+m). Artificial columns are kept
+// through phase 2 (barred from entering the basis) because their reduced
+// costs encode the duals: for artificial j of row i with zero cost,
+// y_i = −c̄_j.
+type tableau struct {
+	m, n  int            // rows, structural columns
+	a     *matrix.Matrix // m×(n+m) current tableau body
+	b     matrix.Vector  // current rhs (basic variable values)
+	c     matrix.Vector  // length n+m: current phase objective coefficients
+	cbar  matrix.Vector  // reduced costs, length n+m
+	z     float64        // current objective value (of the phase objective)
+	basis []int          // basis[i] = column basic in row i
+	inb   []bool         // inb[j] = column j is basic
+	eps   float64
+}
+
+func (s *standard) simplex(o Options) *simplexResult {
+	t := &tableau{
+		m:     s.m,
+		n:     s.n,
+		a:     matrix.New(s.m, s.n+s.m),
+		b:     s.b.Clone(),
+		basis: make([]int, s.m),
+		inb:   make([]bool, s.n+s.m),
+		eps:   o.Eps,
+	}
+	for i := 0; i < s.m; i++ {
+		copy(t.a.Row(i)[:s.n], s.a.Row(i))
+		t.a.Set(i, s.n+i, 1) // artificial
+		t.basis[i] = s.n + i
+		t.inb[s.n+i] = true
+	}
+
+	res := &simplexResult{}
+
+	// Phase 1: minimize the sum of artificials.
+	phase1 := matrix.NewVector(s.n + s.m)
+	for j := s.n; j < s.n+s.m; j++ {
+		phase1[j] = 1
+	}
+	t.setObjective(phase1)
+	st, it := t.iterate(o, true)
+	res.iters += it
+	if st == IterationLimit {
+		res.status = IterationLimit
+		return res
+	}
+	if t.z > sqrtEps(t.eps) {
+		res.status = Infeasible
+		return res
+	}
+	// Drive any artificials that linger in the basis at zero level out,
+	// or drop their rows if the row is redundant.
+	t.purgeArtificials()
+
+	// Phase 2: minimize the true objective.
+	phase2 := matrix.NewVector(s.n + s.m)
+	copy(phase2[:s.n], s.c)
+	t.setObjective(phase2)
+	st, it = t.iterate(o, false)
+	res.iters += it
+	switch st {
+	case IterationLimit, Unbounded:
+		res.status = st
+		return res
+	}
+
+	res.status = Optimal
+	res.obj = t.z
+	res.x = matrix.NewVector(s.n)
+	for i, bj := range t.basis {
+		if bj >= 0 && bj < s.n {
+			res.x[bj] = t.b[i]
+		}
+	}
+	// Duals from artificial reduced costs: c̄_{n+i} = c_{n+i} − y_i and
+	// the phase-2 cost of artificials is 0, so y_i = −c̄_{n+i}.
+	res.y = matrix.NewVector(s.m)
+	for i := 0; i < s.m; i++ {
+		res.y[i] = -t.cbar[s.n+i]
+	}
+	return res
+}
+
+func sqrtEps(eps float64) float64 { return math.Sqrt(eps) }
+
+// setObjective installs phase costs c and recomputes reduced costs and z
+// from the current basis by pricing: c̄ = c − c_Bᵀ·(tableau rows), where the
+// tableau body already equals B⁻¹A.
+func (t *tableau) setObjective(c matrix.Vector) {
+	t.c = c.Clone()
+	t.cbar = c.Clone()
+	t.z = 0
+	for i, bj := range t.basis {
+		if bj < 0 {
+			continue
+		}
+		cb := t.c[bj]
+		if cb == 0 {
+			continue
+		}
+		t.z += cb * t.b[i]
+		row := t.a.Row(i)
+		for j, a := range row {
+			t.cbar[j] -= cb * a
+		}
+	}
+	// Basic columns have exactly zero reduced cost by construction; snap
+	// them to kill accumulated noise.
+	for _, bj := range t.basis {
+		if bj >= 0 {
+			t.cbar[bj] = 0
+		}
+	}
+}
+
+// iterate runs primal simplex pivots until optimality, unboundedness, or
+// the iteration cap. phase1 bars nothing; in phase 2 artificial columns may
+// not enter. It starts with Dantzig pricing and falls back to Bland's rule
+// after stalling (no objective improvement) for a window of pivots, which
+// guarantees termination on degenerate problems.
+func (t *tableau) iterate(o Options, phase1 bool) (Status, int) {
+	bland := o.Bland
+	stall := 0
+	const stallWindow = 64
+	lastZ := t.z
+
+	for iter := 0; iter < o.MaxIter; iter++ {
+		enter := t.chooseEntering(bland, phase1)
+		if enter < 0 {
+			return Optimal, iter
+		}
+		leave := t.chooseLeaving(enter)
+		if leave < 0 {
+			return Unbounded, iter
+		}
+		t.pivot(leave, enter)
+
+		if t.z < lastZ-t.eps {
+			lastZ = t.z
+			stall = 0
+			bland = o.Bland
+		} else {
+			stall++
+			if stall > stallWindow {
+				bland = true
+			}
+		}
+	}
+	return IterationLimit, o.MaxIter
+}
+
+// chooseEntering returns the entering column, or -1 at optimality.
+func (t *tableau) chooseEntering(bland, phase1 bool) int {
+	limit := t.n + t.m
+	if !phase1 {
+		limit = t.n // artificials may not re-enter in phase 2
+	}
+	if bland {
+		for j := 0; j < limit; j++ {
+			if !t.inb[j] && t.cbar[j] < -t.eps {
+				return j
+			}
+		}
+		return -1
+	}
+	best, at := -t.eps, -1
+	for j := 0; j < limit; j++ {
+		if !t.inb[j] && t.cbar[j] < best {
+			best, at = t.cbar[j], j
+		}
+	}
+	return at
+}
+
+// chooseLeaving performs the minimum ratio test on column enter, breaking
+// ties by smallest basis index (a Bland-compatible tie-break). Returns the
+// pivot row, or -1 if the column is unbounded.
+func (t *tableau) chooseLeaving(enter int) int {
+	bestRatio := math.Inf(1)
+	row := -1
+	for i := 0; i < t.m; i++ {
+		aie := t.a.At(i, enter)
+		if aie <= t.eps {
+			continue
+		}
+		ratio := t.b[i] / aie
+		if ratio < bestRatio-t.eps || (ratio < bestRatio+t.eps && (row < 0 || t.basis[i] < t.basis[row])) {
+			bestRatio = ratio
+			row = i
+		}
+	}
+	return row
+}
+
+// pivot makes column enter basic in row r.
+func (t *tableau) pivot(r, enter int) {
+	piv := t.a.At(r, enter)
+	rowR := t.a.Row(r)
+	inv := 1 / piv
+	for j := range rowR {
+		rowR[j] *= inv
+	}
+	t.b[r] *= inv
+	rowR[enter] = 1 // exact
+
+	for i := 0; i < t.m; i++ {
+		if i == r {
+			continue
+		}
+		f := t.a.At(i, enter)
+		if f == 0 {
+			continue
+		}
+		rowI := t.a.Row(i)
+		for j := range rowI {
+			rowI[j] -= f * rowR[j]
+		}
+		rowI[enter] = 0 // exact
+		t.b[i] -= f * t.b[r]
+		if t.b[i] < 0 && t.b[i] > -t.eps {
+			t.b[i] = 0
+		}
+	}
+
+	f := t.cbar[enter]
+	if f != 0 {
+		for j := range t.cbar {
+			t.cbar[j] -= f * rowR[j]
+		}
+		t.cbar[enter] = 0
+		t.z += f * t.b[r]
+	}
+
+	old := t.basis[r]
+	if old >= 0 {
+		t.inb[old] = false
+	}
+	t.basis[r] = enter
+	t.inb[enter] = true
+}
+
+// purgeArtificials removes artificial variables that remain basic at zero
+// level after phase 1 by pivoting in any structural column with a nonzero
+// entry in that row. Rows with no such column are linearly dependent and
+// are neutralized (the artificial stays basic at 0; it can never leave and
+// never affects phase 2 because its row is all-zero on structural columns).
+func (t *tableau) purgeArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.n {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			if t.inb[j] {
+				continue
+			}
+			if math.Abs(t.a.At(i, j)) > sqrtEps(t.eps) {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package lp
+
+import "auditgame/internal/matrix"
+
+// standard holds a problem in computational standard form:
+//
+//	minimize cᵀx  subject to  Ax = b,  x ≥ 0,  b ≥ 0
+//
+// together with the bookkeeping needed to map a standard-form solution back
+// to the user's variables and constraints.
+type standard struct {
+	m, n int            // rows, structural columns (before artificials)
+	a    *matrix.Matrix // m×n
+	b    matrix.Vector  // length m, non-negative
+	c    matrix.Vector  // length n
+
+	// colOfVar maps each user variable to its positive-part column; for
+	// free variables negCol holds the negative-part column, else -1.
+	colOfVar []int
+	negCol   []int
+	// rowFlip records rows whose sign was flipped to make b ≥ 0, which
+	// negates the reported dual.
+	rowFlip []bool
+	// objFlip is true when the user asked to maximize (we minimize -c).
+	objFlip bool
+	// objOffset is the constant Σ c_v·shift_v contributed by shifted
+	// (lower-bounded) variables, added back when reporting.
+	objOffset float64
+}
+
+// toStandard converts the builder problem into standard form.
+//
+// Transformations applied, in order:
+//   - maximize f  →  minimize −f (objective and duals are negated back on
+//     report);
+//   - free variable x  →  x⁺ − x⁻ with x⁺, x⁻ ≥ 0;
+//   - a ≤ row gains a slack, a ≥ row gains a surplus, both become =;
+//   - rows with negative rhs are multiplied by −1 (the corresponding dual
+//     is negated back on report).
+func (p *Problem) toStandard() *standard {
+	s := &standard{
+		m:        len(p.cons),
+		colOfVar: make([]int, len(p.vars)),
+		negCol:   make([]int, len(p.vars)),
+		rowFlip:  make([]bool, len(p.cons)),
+		objFlip:  p.sense == Maximize,
+	}
+
+	// Assign columns: one per variable, plus one extra per free variable,
+	// plus one slack/surplus per inequality row.
+	n := 0
+	for i, v := range p.vars {
+		s.colOfVar[i] = n
+		n++
+		if v.bound == Free {
+			s.negCol[i] = n
+			n++
+		} else {
+			s.negCol[i] = -1
+		}
+	}
+	slackCol := make([]int, len(p.cons))
+	for i, con := range p.cons {
+		if con.rel == EQ {
+			slackCol[i] = -1
+			continue
+		}
+		slackCol[i] = n
+		n++
+	}
+	s.n = n
+
+	s.a = matrix.New(s.m, s.n)
+	s.b = matrix.NewVector(s.m)
+	s.c = matrix.NewVector(s.n)
+
+	sign := 1.0
+	if s.objFlip {
+		sign = -1.0
+	}
+	for i, v := range p.vars {
+		s.c[s.colOfVar[i]] = sign * v.obj
+		if s.negCol[i] >= 0 {
+			s.c[s.negCol[i]] = -sign * v.obj
+		}
+		s.objOffset += v.obj * v.shift
+	}
+
+	for i, con := range p.cons {
+		row := s.a.Row(i)
+		rhs := con.rhs
+		for v, coeff := range con.coeff {
+			row[s.colOfVar[v]] += coeff
+			if s.negCol[v] >= 0 {
+				row[s.negCol[v]] -= coeff
+			}
+			// Shifted variable x = shift + s: move the constant part
+			// to the right-hand side.
+			rhs -= coeff * p.vars[v].shift
+		}
+		switch con.rel {
+		case LE:
+			row[slackCol[i]] = 1
+		case GE:
+			row[slackCol[i]] = -1
+		}
+		s.b[i] = rhs
+		if s.b[i] < 0 {
+			s.rowFlip[i] = true
+			s.b[i] = -s.b[i]
+			row.Scale(-1)
+		}
+	}
+	return s
+}
+
+// fromStandard maps a standard-form result back into user coordinates.
+func (p *Problem) fromStandard(s *standard, r *simplexResult) *Solution {
+	sol := &Solution{Status: r.status, Iterations: r.iters}
+	if r.status != Optimal {
+		return sol
+	}
+
+	sol.X = make([]float64, len(p.vars))
+	for i := range p.vars {
+		x := r.x[s.colOfVar[i]]
+		if s.negCol[i] >= 0 {
+			x -= r.x[s.negCol[i]]
+		}
+		sol.X[i] = x + p.vars[i].shift
+	}
+
+	sol.Dual = make([]float64, len(p.cons))
+	for i := range p.cons {
+		d := r.y[i]
+		if s.rowFlip[i] {
+			d = -d
+		}
+		if s.objFlip {
+			d = -d
+		}
+		sol.Dual[i] = d
+	}
+
+	sol.Objective = r.obj
+	if s.objFlip {
+		sol.Objective = -sol.Objective
+	}
+	sol.Objective += s.objOffset
+	return sol
+}

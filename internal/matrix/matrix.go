@@ -1,0 +1,239 @@
+// Package matrix provides small dense vector and matrix primitives used by
+// the linear-programming solver and the game-model code. It is deliberately
+// minimal: row-major dense storage, no views, explicit dimensions, and
+// panics on shape mismatches (shape errors are programming errors, not
+// runtime conditions).
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Vector is a dense column vector.
+type Vector []float64
+
+// NewVector returns a zero vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	w := make(Vector, len(v))
+	copy(w, v)
+	return w
+}
+
+// Dot returns the inner product of v and w.
+func (v Vector) Dot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("matrix: Dot dimension mismatch %d vs %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// AddScaled sets v = v + alpha*w in place.
+func (v Vector) AddScaled(alpha float64, w Vector) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("matrix: AddScaled dimension mismatch %d vs %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += alpha * w[i]
+	}
+}
+
+// Scale multiplies every element of v by alpha in place.
+func (v Vector) Scale(alpha float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Max returns the maximum element and its index. It panics on an empty
+// vector.
+func (v Vector) Max() (float64, int) {
+	if len(v) == 0 {
+		panic("matrix: Max of empty vector")
+	}
+	best, at := v[0], 0
+	for i, x := range v[1:] {
+		if x > best {
+			best, at = x, i+1
+		}
+	}
+	return best, at
+}
+
+// Min returns the minimum element and its index. It panics on an empty
+// vector.
+func (v Vector) Min() (float64, int) {
+	if len(v) == 0 {
+		panic("matrix: Min of empty vector")
+	}
+	best, at := v[0], 0
+	for i, x := range v[1:] {
+		if x < best {
+			best, at = x, i+1
+		}
+	}
+	return best, at
+}
+
+// Sum returns the sum of all elements.
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm.
+func (v Vector) Norm2() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns the maximum absolute element, or 0 for an empty vector.
+func (v Vector) NormInf() float64 {
+	var s float64
+	for _, x := range v {
+		if a := math.Abs(x); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// Equal reports whether v and w have the same length and elements within
+// tol of each other.
+func (v Vector) Equal(w Vector, tol float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if math.Abs(v[i]-w[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// New returns a zero matrix with r rows and c columns.
+func New(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d", r, c))
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices. All rows must share a length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	c := len(rows[0])
+	m := New(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("matrix: ragged rows: row %d has %d cols, want %d", i, len(row), c))
+		}
+		copy(m.Row(i), row)
+	}
+	return m
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	n := New(m.Rows, m.Cols)
+	copy(n.Data, m.Data)
+	return n
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a mutable view of row i.
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) Vector {
+	v := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		v[i] = m.At(i, j)
+	}
+	return v
+}
+
+// MulVec returns m·x.
+func (m *Matrix) MulVec(x Vector) Vector {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("matrix: MulVec dimension mismatch %d cols vs len %d", m.Cols, len(x)))
+	}
+	out := NewVector(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Row(i).Dot(x)
+	}
+	return out
+}
+
+// MulVecT returns mᵀ·x (i.e. x as a row vector times m).
+func (m *Matrix) MulVecT(x Vector) Vector {
+	if len(x) != m.Rows {
+		panic(fmt.Sprintf("matrix: MulVecT dimension mismatch %d rows vs len %d", m.Rows, len(x)))
+	}
+	out := NewVector(m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, a := range row {
+			out[j] += xi * a
+		}
+	}
+	return out
+}
+
+// SwapRows exchanges rows i and k in place.
+func (m *Matrix) SwapRows(i, k int) {
+	if i == k {
+		return
+	}
+	ri, rk := m.Row(i), m.Row(k)
+	for j := range ri {
+		ri[j], rk[j] = rk[j], ri[j]
+	}
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%8.4f", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,203 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorDot(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestVectorDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Vector{1}.Dot(Vector{1, 2})
+}
+
+func TestVectorAddScaled(t *testing.T) {
+	v := Vector{1, 2, 3}
+	v.AddScaled(2, Vector{10, 20, 30})
+	want := Vector{21, 42, 63}
+	if !v.Equal(want, 0) {
+		t.Fatalf("AddScaled = %v, want %v", v, want)
+	}
+}
+
+func TestVectorScale(t *testing.T) {
+	v := Vector{1, -2, 0.5}
+	v.Scale(-2)
+	if !v.Equal(Vector{-2, 4, -1}, 0) {
+		t.Fatalf("Scale = %v", v)
+	}
+}
+
+func TestVectorMaxMin(t *testing.T) {
+	v := Vector{3, -1, 7, 7, 2}
+	if m, i := v.Max(); m != 7 || i != 2 {
+		t.Fatalf("Max = (%v,%d), want (7,2)", m, i)
+	}
+	if m, i := v.Min(); m != -1 || i != 1 {
+		t.Fatalf("Min = (%v,%d), want (-1,1)", m, i)
+	}
+}
+
+func TestVectorMaxEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Vector{}.Max()
+}
+
+func TestVectorSumNorms(t *testing.T) {
+	v := Vector{3, -4}
+	if s := v.Sum(); s != -1 {
+		t.Fatalf("Sum = %v", s)
+	}
+	if n := v.Norm2(); math.Abs(n-5) > 1e-12 {
+		t.Fatalf("Norm2 = %v, want 5", n)
+	}
+	if n := v.NormInf(); n != 4 {
+		t.Fatalf("NormInf = %v, want 4", n)
+	}
+}
+
+func TestVectorClone(t *testing.T) {
+	v := Vector{1, 2}
+	w := v.Clone()
+	w[0] = 9
+	if v[0] != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestMatrixAtSetRowCol(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Fatal("At/Set roundtrip failed")
+	}
+	m.Row(0)[1] = 7
+	if m.At(0, 1) != 7 {
+		t.Fatal("Row is not a mutable view")
+	}
+	col := m.Col(1)
+	if !col.Equal(Vector{7, 0}, 0) {
+		t.Fatalf("Col = %v", col)
+	}
+}
+
+func TestMatrixFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.Rows != 2 || m.Cols != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows produced %v", m)
+	}
+	if e := FromRows(nil); e.Rows != 0 || e.Cols != 0 {
+		t.Fatal("FromRows(nil) not empty")
+	}
+}
+
+func TestMatrixFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got := m.MulVec(Vector{1, -1})
+	if !got.Equal(Vector{-1, -1, -1}, 1e-15) {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestMatrixMulVecT(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got := m.MulVecT(Vector{1, 0, -1})
+	if !got.Equal(Vector{-4, -4}, 1e-15) {
+		t.Fatalf("MulVecT = %v", got)
+	}
+}
+
+func TestMatrixSwapRowsClone(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	n := m.Clone()
+	n.SwapRows(0, 1)
+	if n.At(0, 0) != 3 || n.At(1, 0) != 1 {
+		t.Fatalf("SwapRows = %v", n)
+	}
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases original")
+	}
+	n.SwapRows(1, 1) // no-op must not corrupt
+	if n.At(1, 0) != 1 {
+		t.Fatal("self-swap corrupted matrix")
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	if s := m.String(); s == "" {
+		t.Fatal("String is empty")
+	}
+}
+
+// Property: (Mᵀ)·x computed by MulVecT agrees with explicit transpose
+// multiplication for random matrices.
+func TestMulVecTMatchesTransposeProperty(t *testing.T) {
+	f := func(seedRows [3][4]int8, xRaw [3]int8) bool {
+		m := New(3, 4)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 4; j++ {
+				m.Set(i, j, float64(seedRows[i][j]))
+			}
+		}
+		x := Vector{float64(xRaw[0]), float64(xRaw[1]), float64(xRaw[2])}
+		got := m.MulVecT(x)
+		want := NewVector(4)
+		for j := 0; j < 4; j++ {
+			for i := 0; i < 3; i++ {
+				want[j] += m.At(i, j) * x[i]
+			}
+		}
+		return got.Equal(want, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dot product is symmetric and linear in its first argument.
+func TestDotBilinearProperty(t *testing.T) {
+	f := func(a, b, c [5]int8, kRaw int8) bool {
+		k := float64(kRaw)
+		va, vb, vc := NewVector(5), NewVector(5), NewVector(5)
+		for i := 0; i < 5; i++ {
+			va[i], vb[i], vc[i] = float64(a[i]), float64(b[i]), float64(c[i])
+		}
+		if va.Dot(vb) != vb.Dot(va) {
+			return false
+		}
+		lhs := NewVector(5)
+		for i := range lhs {
+			lhs[i] = k*va[i] + vc[i]
+		}
+		return math.Abs(lhs.Dot(vb)-(k*va.Dot(vb)+vc.Dot(vb))) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

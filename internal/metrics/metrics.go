@@ -1,0 +1,106 @@
+// Package metrics computes the evaluation metrics the paper reports: the
+// approximation-precision γ of Table VI, the exploration ratios of Table
+// VII's T/T′ vectors, and generic loss-series summaries for the figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Gamma is the paper's approximation precision over a budget sweep:
+//
+//	γ = 1 − (1/|B|) Σ_i |Ŝ_i − S_i| / |S_i|
+//
+// where S is the optimal objective per budget and Ŝ the heuristic's.
+// Table VI reports γ¹ (ISHM+exact LP) and γ² (ISHM+CGGS). A value of 1
+// means the heuristic matched the optimum everywhere.
+func Gamma(optimal, approx []float64) (float64, error) {
+	if len(optimal) == 0 || len(optimal) != len(approx) {
+		return 0, fmt.Errorf("metrics: Gamma needs equal non-empty series (%d vs %d)", len(optimal), len(approx))
+	}
+	var total float64
+	for i, s := range optimal {
+		if s == 0 {
+			return 0, fmt.Errorf("metrics: Gamma undefined at optimal value 0 (index %d)", i)
+		}
+		total += math.Abs(approx[i]-s) / math.Abs(s)
+	}
+	return 1 - total/float64(len(optimal)), nil
+}
+
+// ExplorationRatio returns explored/total for each pair, the paper's T′
+// vector (fraction of the brute-force grid a heuristic visits).
+func ExplorationRatio(explored []int, total int) ([]float64, error) {
+	if total <= 0 {
+		return nil, fmt.Errorf("metrics: non-positive grid size %d", total)
+	}
+	out := make([]float64, len(explored))
+	for i, e := range explored {
+		if e < 0 {
+			return nil, fmt.Errorf("metrics: negative exploration count %d", e)
+		}
+		out[i] = float64(e) / float64(total)
+	}
+	return out, nil
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MeanInt returns the arithmetic mean of integer samples.
+func MeanInt(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += float64(x)
+	}
+	return s / float64(len(xs))
+}
+
+// Series is one named curve of a figure: losses indexed like the budget
+// sweep that produced them.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Crossover returns the first index where series a drops to or below
+// series b, or -1 if it never does. The figures' qualitative claims
+// ("our model outperforms X beyond budget Y") reduce to crossover checks.
+func Crossover(a, b Series) (int, error) {
+	if len(a.Values) != len(b.Values) {
+		return 0, fmt.Errorf("metrics: series lengths differ (%d vs %d)", len(a.Values), len(b.Values))
+	}
+	for i := range a.Values {
+		if a.Values[i] <= b.Values[i] {
+			return i, nil
+		}
+	}
+	return -1, nil
+}
+
+// DominatedBy reports whether a ≤ b pointwise within tol — "curve a sits
+// under curve b", the headline shape of Figures 1 and 2.
+func DominatedBy(a, b Series, tol float64) (bool, error) {
+	if len(a.Values) != len(b.Values) {
+		return false, fmt.Errorf("metrics: series lengths differ (%d vs %d)", len(a.Values), len(b.Values))
+	}
+	for i := range a.Values {
+		if a.Values[i] > b.Values[i]+tol {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGammaPerfect(t *testing.T) {
+	opt := []float64{10, -5, 3}
+	g, err := Gamma(opt, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-1) > 1e-12 {
+		t.Fatalf("γ = %v, want 1", g)
+	}
+}
+
+func TestGammaKnownValue(t *testing.T) {
+	opt := []float64{10, 10}
+	approx := []float64{11, 9}
+	g, err := Gamma(opt, approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-0.9) > 1e-12 {
+		t.Fatalf("γ = %v, want 0.9", g)
+	}
+}
+
+func TestGammaNegativeOptima(t *testing.T) {
+	// Table III has negative objectives; γ must use |S|.
+	opt := []float64{-10}
+	approx := []float64{-9}
+	g, err := Gamma(opt, approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-0.9) > 1e-12 {
+		t.Fatalf("γ = %v, want 0.9", g)
+	}
+}
+
+func TestGammaErrors(t *testing.T) {
+	if _, err := Gamma(nil, nil); err == nil {
+		t.Fatal("expected error for empty series")
+	}
+	if _, err := Gamma([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+	if _, err := Gamma([]float64{0}, []float64{1}); err == nil {
+		t.Fatal("expected error for zero optimal value")
+	}
+}
+
+func TestExplorationRatio(t *testing.T) {
+	r, err := ExplorationRatio([]int{100, 50}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[0] != 0.1 || r[1] != 0.05 {
+		t.Fatalf("ratios = %v", r)
+	}
+	if _, err := ExplorationRatio([]int{1}, 0); err == nil {
+		t.Fatal("expected error for zero grid")
+	}
+	if _, err := ExplorationRatio([]int{-1}, 10); err == nil {
+		t.Fatal("expected error for negative count")
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if Mean(nil) != 0 || MeanInt(nil) != 0 {
+		t.Fatal("empty means should be 0")
+	}
+	if m := Mean([]float64{1, 2, 3}); math.Abs(m-2) > 1e-12 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if m := MeanInt([]int{2, 4}); math.Abs(m-3) > 1e-12 {
+		t.Fatalf("MeanInt = %v", m)
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	a := Series{Name: "ours", Values: []float64{5, 3, 1}}
+	b := Series{Name: "base", Values: []float64{4, 3, 2}}
+	i, err := Crossover(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 1 {
+		t.Fatalf("crossover at %d, want 1", i)
+	}
+	never := Series{Values: []float64{9, 9, 9}}
+	i, err = Crossover(never, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != -1 {
+		t.Fatalf("crossover = %d, want -1", i)
+	}
+	if _, err := Crossover(a, Series{Values: []float64{1}}); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestDominatedBy(t *testing.T) {
+	a := Series{Values: []float64{1, 2, 3}}
+	b := Series{Values: []float64{2, 2, 4}}
+	ok, err := DominatedBy(a, b, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("a should be dominated by b")
+	}
+	ok, err = DominatedBy(b, a, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("b should not be dominated by a")
+	}
+	if _, err := DominatedBy(a, Series{Values: []float64{1}}, 0); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+// Property: γ(S, S·(1+δ)) = 1 − |δ| for any uniform relative error δ.
+func TestGammaUniformErrorProperty(t *testing.T) {
+	f := func(base [4]int8, dRaw uint8) bool {
+		delta := float64(dRaw%100) / 200 // [0, 0.5)
+		opt := make([]float64, 0, 4)
+		approx := make([]float64, 0, 4)
+		for _, b := range base {
+			if b == 0 {
+				continue
+			}
+			v := float64(b)
+			opt = append(opt, v)
+			approx = append(approx, v*(1+delta))
+		}
+		if len(opt) == 0 {
+			return true
+		}
+		g, err := Gamma(opt, approx)
+		if err != nil {
+			return false
+		}
+		return math.Abs(g-(1-delta)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,29 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoad checks the policy decoder never panics and everything it
+// accepts survives a save/load round trip.
+func FuzzLoad(f *testing.F) {
+	f.Add(`{"type_names":["A","B"],"costs":[1,1],"budget":3,
+	        "thresholds":[2,2],"orderings":[[0,1]],"probs":[1]}`)
+	f.Add(`{}`)
+	f.Add(`{"type_names":[]}`)
+	f.Add(`[1,2,3]`)
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Load(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if err := p.Save(&buf); err != nil {
+			t.Fatalf("loaded policy failed to save: %v", err)
+		}
+		if _, err := Load(strings.NewReader(buf.String())); err != nil {
+			t.Fatalf("saved policy failed to reload: %v", err)
+		}
+	})
+}

@@ -1,0 +1,206 @@
+// Package policy turns a solved audit game into a deployable artifact: a
+// serializable mixed audit strategy plus the recourse executor that, each
+// audit period, samples a priority ordering and selects which of the
+// realized alerts to investigate under the budget and thresholds. This is
+// the piece an operations team actually runs against the TDMT log.
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+)
+
+// Policy is a complete, self-describing audit policy.
+type Policy struct {
+	// TypeNames labels the alert types, index-aligned with everything
+	// else.
+	TypeNames []string `json:"type_names"`
+	// Costs[t] is the audit cost C_t of one type-t alert.
+	Costs []float64 `json:"costs"`
+	// Budget is the per-period audit budget B.
+	Budget float64 `json:"budget"`
+	// Thresholds[t] is the per-type budget cap b_t.
+	Thresholds []float64 `json:"thresholds"`
+	// Orderings are the support of the mixed strategy; Probs are their
+	// probabilities.
+	Orderings [][]int   `json:"orderings"`
+	Probs     []float64 `json:"probs"`
+	// ExpectedLoss is the auditor's game value under this policy, kept
+	// for operator dashboards.
+	ExpectedLoss float64 `json:"expected_loss"`
+}
+
+// Validate checks internal consistency.
+func (p *Policy) Validate() error {
+	nT := len(p.TypeNames)
+	if nT == 0 {
+		return fmt.Errorf("policy: no alert types")
+	}
+	if len(p.Costs) != nT || len(p.Thresholds) != nT {
+		return fmt.Errorf("policy: costs/thresholds length mismatch (%d/%d, want %d)",
+			len(p.Costs), len(p.Thresholds), nT)
+	}
+	for t, c := range p.Costs {
+		if c <= 0 {
+			return fmt.Errorf("policy: cost of type %d is %v", t, c)
+		}
+		if p.Thresholds[t] < 0 {
+			return fmt.Errorf("policy: threshold of type %d is %v", t, p.Thresholds[t])
+		}
+	}
+	if p.Budget < 0 {
+		return fmt.Errorf("policy: negative budget %v", p.Budget)
+	}
+	if len(p.Orderings) == 0 || len(p.Orderings) != len(p.Probs) {
+		return fmt.Errorf("policy: %d orderings with %d probs", len(p.Orderings), len(p.Probs))
+	}
+	var sum float64
+	for i, o := range p.Orderings {
+		if err := validPerm(o, nT); err != nil {
+			return fmt.Errorf("policy: ordering %d: %v", i, err)
+		}
+		if p.Probs[i] < -1e-9 {
+			return fmt.Errorf("policy: negative probability %v", p.Probs[i])
+		}
+		sum += p.Probs[i]
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("policy: probabilities sum to %v", sum)
+	}
+	return nil
+}
+
+func validPerm(o []int, n int) error {
+	if len(o) != n {
+		return fmt.Errorf("length %d, want %d", len(o), n)
+	}
+	seen := make([]bool, n)
+	for _, t := range o {
+		if t < 0 || t >= n || seen[t] {
+			return fmt.Errorf("not a permutation of 0..%d", n-1)
+		}
+		seen[t] = true
+	}
+	return nil
+}
+
+// Save writes the policy as indented JSON.
+func (p *Policy) Save(w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// Load reads a policy written by Save and validates it.
+func Load(r io.Reader) (*Policy, error) {
+	var p Policy
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("policy: decode: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// SampleOrdering draws a priority ordering from the mixed strategy.
+func (p *Policy) SampleOrdering(r *rand.Rand) []int {
+	u := r.Float64()
+	var acc float64
+	for i, pr := range p.Probs {
+		acc += pr
+		if u <= acc {
+			return append([]int(nil), p.Orderings[i]...)
+		}
+	}
+	return append([]int(nil), p.Orderings[len(p.Orderings)-1]...)
+}
+
+// Selection is the outcome of one audit period: which alert indexes (into
+// each type's realized bin) get audited.
+type Selection struct {
+	// Ordering is the sampled priority order used this period.
+	Ordering []int
+	// Chosen[t] lists the selected indexes into type t's bin, sorted.
+	Chosen [][]int
+	// Spent is the budget consumed.
+	Spent float64
+}
+
+// Audited returns the total number of alerts selected.
+func (s *Selection) Audited() int {
+	n := 0
+	for _, c := range s.Chosen {
+		n += len(c)
+	}
+	return n
+}
+
+// Select runs the recourse step for one audit period: given the realized
+// per-type alert counts, it samples an ordering and walks it, spending at
+// most min(threshold, remaining budget) on each type and choosing a
+// uniformly random subset of that type's alerts. Random subsets (rather
+// than, say, the first alerts of the day) are what make the solved
+// detection probabilities n_t/Z_t real.
+func (p *Policy) Select(counts []int, r *rand.Rand) (*Selection, error) {
+	if len(counts) != len(p.TypeNames) {
+		return nil, fmt.Errorf("policy: %d counts for %d types", len(counts), len(p.TypeNames))
+	}
+	for t, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("policy: negative count %d for type %d", c, t)
+		}
+	}
+	sel := &Selection{
+		Ordering: p.SampleOrdering(r),
+		Chosen:   make([][]int, len(counts)),
+	}
+	remaining := p.Budget
+	for _, t := range sel.Ordering {
+		ct := p.Costs[t]
+		nAfford := int(math.Floor(remaining / ct))
+		if nAfford < 0 {
+			nAfford = 0
+		}
+		nCap := int(math.Floor(p.Thresholds[t] / ct))
+		n := min3(nAfford, nCap, counts[t])
+		if n > 0 {
+			sel.Chosen[t] = sampleIndexes(counts[t], n, r)
+			sel.Spent += float64(n) * ct
+		}
+		// Budget accounting matches the game model's recursion: the
+		// type "reserves" min(threshold, realized cost) even if fewer
+		// audits were affordable.
+		remaining -= math.Min(p.Thresholds[t], float64(counts[t])*ct)
+	}
+	return sel, nil
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// sampleIndexes draws n distinct indexes from [0, total) and returns them
+// sorted.
+func sampleIndexes(total, n int, r *rand.Rand) []int {
+	perm := r.Perm(total)[:n]
+	// Insertion sort; n is small relative to bins.
+	for i := 1; i < len(perm); i++ {
+		for j := i; j > 0 && perm[j] < perm[j-1]; j-- {
+			perm[j], perm[j-1] = perm[j-1], perm[j]
+		}
+	}
+	return perm
+}

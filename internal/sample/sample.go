@@ -1,0 +1,148 @@
+// Package sample provides the machinery for taking expectations over joint
+// alert-count realizations Z = (Z₁,…,Z_|T|): exact enumeration of small
+// joint supports, and fixed "common random number" sample banks for
+// Monte-Carlo estimation. Using one frozen bank across all policy
+// evaluations in a search (rather than resampling) removes sampling noise
+// from comparisons, which keeps ISHM's accept/reject decisions coherent.
+package sample
+
+import (
+	"fmt"
+	"math/rand"
+
+	"auditgame/internal/dist"
+)
+
+// Realization is one joint draw of per-type alert counts.
+type Realization []int
+
+// Source yields weighted joint realizations for computing expectations
+// E_Z[f(Z)]. Weights sum to 1 across the enumeration.
+type Source interface {
+	// Each calls fn for every weighted realization. The Realization
+	// passed to fn is reused between calls; copy it if retained.
+	Each(fn func(z Realization, weight float64))
+	// Size returns the number of realizations Each will visit.
+	Size() int
+}
+
+// Expect computes E[f(Z)] over the source.
+func Expect(s Source, f func(z Realization) float64) float64 {
+	var acc float64
+	s.Each(func(z Realization, w float64) { acc += w * f(z) })
+	return acc
+}
+
+// Bank is a frozen matrix of N pre-drawn joint realizations, each with
+// weight 1/N. Banks implement common random numbers: every evaluation that
+// shares a bank sees exactly the same randomness.
+type Bank struct {
+	draws []Realization
+}
+
+// NewBank draws n joint realizations of the given per-type distributions
+// using the supplied seed. Distributions are sampled independently, which
+// is the paper's model (type counts are independent workflows).
+func NewBank(dists []dist.Distribution, n int, seed int64) *Bank {
+	if n <= 0 {
+		panic("sample: bank size must be positive")
+	}
+	if len(dists) == 0 {
+		panic("sample: no distributions")
+	}
+	r := rand.New(rand.NewSource(seed))
+	b := &Bank{draws: make([]Realization, n)}
+	for i := range b.draws {
+		z := make(Realization, len(dists))
+		for t, d := range dists {
+			z[t] = d.Sample(r)
+		}
+		b.draws[i] = z
+	}
+	return b
+}
+
+// Each implements Source.
+func (b *Bank) Each(fn func(z Realization, weight float64)) {
+	w := 1 / float64(len(b.draws))
+	for _, z := range b.draws {
+		fn(z, w)
+	}
+}
+
+// Size implements Source.
+func (b *Bank) Size() int { return len(b.draws) }
+
+// Enumerator visits every joint realization in the product of the
+// distributions' truncated supports with its exact probability. Expectation
+// over an Enumerator is exact (up to the truncation), which is what the
+// controlled evaluation (§IV) uses to compare against brute force.
+type Enumerator struct {
+	dists []dist.Distribution
+	size  int
+}
+
+// DefaultEnumerationLimit bounds the joint support size for which exact
+// enumeration is considered tractable.
+const DefaultEnumerationLimit = 200_000
+
+// NewEnumerator builds an exact enumerator. It returns an error if the
+// joint support size exceeds limit (use DefaultEnumerationLimit when in
+// doubt) so callers can fall back to a Bank.
+func NewEnumerator(dists []dist.Distribution, limit int) (*Enumerator, error) {
+	if len(dists) == 0 {
+		return nil, fmt.Errorf("sample: no distributions")
+	}
+	size := 1
+	for _, d := range dists {
+		lo, hi := d.Support()
+		nonzero := 0
+		for n := lo; n <= hi; n++ {
+			if d.PMF(n) > 0 {
+				nonzero++
+			}
+		}
+		size *= nonzero
+		if size > limit || size < 0 {
+			return nil, fmt.Errorf("sample: joint support exceeds enumeration limit %d", limit)
+		}
+	}
+	return &Enumerator{dists: dists, size: size}, nil
+}
+
+// Each implements Source.
+func (e *Enumerator) Each(fn func(z Realization, weight float64)) {
+	z := make(Realization, len(e.dists))
+	e.rec(0, 1, z, fn)
+}
+
+func (e *Enumerator) rec(t int, w float64, z Realization, fn func(Realization, float64)) {
+	if w == 0 {
+		return
+	}
+	if t == len(e.dists) {
+		fn(z, w)
+		return
+	}
+	lo, hi := e.dists[t].Support()
+	for n := lo; n <= hi; n++ {
+		p := e.dists[t].PMF(n)
+		if p == 0 {
+			continue
+		}
+		z[t] = n
+		e.rec(t+1, w*p, z, fn)
+	}
+}
+
+// Size implements Source.
+func (e *Enumerator) Size() int { return e.size }
+
+// Auto returns an exact Enumerator when the joint support fits within
+// limit, and otherwise a Bank of bankSize draws with the given seed.
+func Auto(dists []dist.Distribution, limit, bankSize int, seed int64) Source {
+	if e, err := NewEnumerator(dists, limit); err == nil {
+		return e
+	}
+	return NewBank(dists, bankSize, seed)
+}

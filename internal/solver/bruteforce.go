@@ -1,0 +1,103 @@
+package solver
+
+import (
+	"fmt"
+
+	"auditgame/internal/game"
+)
+
+// BruteForceResult is the exact OAP optimum over the integer threshold
+// grid, plus how many grid points were examined.
+type BruteForceResult struct {
+	Policy *MixedPolicy
+	// Explored counts threshold vectors whose LP was solved.
+	Explored int
+	// GridSize is the full grid cardinality ∏(J_t + 1) before the
+	// Σb_t ≥ B filter, the denominator of the paper's exploration
+	// ratio T′.
+	GridSize int
+}
+
+// BruteForce exhaustively solves the OAP as in §IV-B: it enumerates every
+// integer threshold vector with b_t ∈ {0, C_t, …, J_t·C_t} (J_t the top of
+// the truncated count support) and Σ b_t ≥ min(B, Σ caps), solves the
+// ordering LP to optimality at each, and returns the best. Exponential in
+// |T|; it exists as ground truth for the controlled evaluation.
+func BruteForce(in *game.Instance) (*BruteForceResult, error) {
+	nT := in.G.NumTypes()
+	if nT > 6 {
+		return nil, fmt.Errorf("solver: brute force over %d types is intractable; use ISHM", nT)
+	}
+	steps := make([]int, nT) // J_t: max multiples of C_t
+	var capSum float64
+	for t := range steps {
+		_, hi := in.G.Types[t].Dist.Support()
+		steps[t] = hi
+		capSum += float64(hi) * in.G.Types[t].Cost
+	}
+	minSum := in.Budget
+	if capSum < minSum {
+		minSum = capSum
+	}
+
+	res := &BruteForceResult{GridSize: 1}
+	for _, s := range steps {
+		res.GridSize *= s + 1
+	}
+
+	b := make(game.Thresholds, nT)
+	var best *MixedPolicy
+	var rec func(t int, sum float64) error
+	rec = func(t int, sum float64) error {
+		if t == nT {
+			if sum < minSum-1e-9 {
+				return nil
+			}
+			res.Explored++
+			pol, err := Exact(in, b)
+			if err != nil {
+				return err
+			}
+			if best == nil || pol.Objective < best.Objective-1e-12 ||
+				(pol.Objective < best.Objective+1e-12 && lexLess(b, best.Thresholds)) {
+				best = pol
+			}
+			return nil
+		}
+		ct := in.G.Types[t].Cost
+		for k := 0; k <= steps[t]; k++ {
+			b[t] = float64(k) * ct
+			if err := rec(t+1, sum+b[t]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, 0); err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return nil, fmt.Errorf("solver: no feasible threshold vector (budget %v exceeds grid)", in.Budget)
+	}
+	res.Policy = best
+	return res, nil
+}
+
+// lexLess orders threshold vectors by total then lexicographically,
+// implementing the paper's "smallest optimal threshold" tie-break.
+func lexLess(a, b game.Thresholds) bool {
+	var sa, sb float64
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+	}
+	if sa != sb {
+		return sa < sb
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,208 @@
+// Package solver implements the search algorithms of the paper: the
+// brute-force optimum used as ground truth in §IV, Column Generation
+// Greedy Search (CGGS, Algorithm 1), the Iterative Shrink Heuristic Method
+// (ISHM, Algorithm 2), their composition, and the three baseline audit
+// strategies of §V-B.
+package solver
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"auditgame/internal/game"
+)
+
+// MixedPolicy is a solved auditor strategy: a distribution over orderings
+// plus the threshold vector it was computed for.
+type MixedPolicy struct {
+	Q          []game.Ordering
+	Po         []float64
+	Thresholds game.Thresholds
+	// Objective is the auditor's expected loss at this policy.
+	Objective float64
+}
+
+// Support returns the orderings with non-negligible probability, ordered
+// by decreasing probability.
+func (m *MixedPolicy) Support() ([]game.Ordering, []float64) {
+	type pair struct {
+		o game.Ordering
+		p float64
+	}
+	var ps []pair
+	for i, p := range m.Po {
+		if p > 1e-9 {
+			ps = append(ps, pair{m.Q[i], p})
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].p != ps[j].p {
+			return ps[i].p > ps[j].p
+		}
+		return ps[i].o.Key() < ps[j].o.Key()
+	})
+	os := make([]game.Ordering, len(ps))
+	probs := make([]float64, len(ps))
+	for i, p := range ps {
+		os[i] = p.o
+		probs[i] = p.p
+	}
+	return os, probs
+}
+
+// CGGSOptions tunes column generation.
+type CGGSOptions struct {
+	// Initial seeds the column pool. Nil means the benefit-greedy
+	// ordering (types sorted by decreasing maximum adversary benefit),
+	// a sensible warm start.
+	Initial game.Ordering
+	// MaxColumns caps generated columns. Zero means 20·|T| + 50.
+	MaxColumns int
+	// Eps is the reduced-cost tolerance. Zero means 1e-7.
+	Eps float64
+	// ExhaustiveOracle prices every ordering whenever the greedy column
+	// fails to improve, turning CGGS into an exact method for |T| ≤ 8.
+	// The paper's Algorithm 1 is greedy-only (the default); this switch
+	// exists for the column-oracle ablation.
+	ExhaustiveOracle bool
+}
+
+func (o CGGSOptions) withDefaults(numTypes int) CGGSOptions {
+	if o.MaxColumns == 0 {
+		o.MaxColumns = 20*numTypes + 50
+	}
+	if o.Eps == 0 {
+		o.Eps = 1e-7
+	}
+	return o
+}
+
+// CGGS solves the fixed-threshold LP by column generation (Algorithm 1).
+// Starting from a single ordering it alternates between solving the
+// restricted master LP and greedily constructing a new ordering that
+// minimizes reduced cost, appending one alert type at a time; it stops
+// when the greedy column no longer prices negatively.
+func CGGS(in *game.Instance, b game.Thresholds, opts CGGSOptions) (*MixedPolicy, error) {
+	nT := in.G.NumTypes()
+	opts = opts.withDefaults(nT)
+
+	initial := opts.Initial
+	if initial == nil {
+		initial = BenefitOrdering(in.G)
+	}
+	if !initial.ValidPermutation(nT) {
+		return nil, fmt.Errorf("solver: initial ordering %v is not a permutation of %d types", initial, nT)
+	}
+
+	Q := []game.Ordering{initial.Clone()}
+	inQ := map[string]bool{initial.Key(): true}
+
+	var res *game.LPResult
+	for len(Q) <= opts.MaxColumns {
+		var err error
+		res, err = in.SolveFixed(Q, b)
+		if err != nil {
+			return nil, err
+		}
+
+		// Greedy column construction: extend a partial ordering one
+		// type at a time, each step choosing the type that minimizes
+		// the reduced cost of the partial column (equivalently,
+		// maximizes the dual-priced column π_Q·Γ′).
+		partial := make(game.Ordering, 0, nT)
+		used := make([]bool, nT)
+		for len(partial) < nT {
+			bestT, bestRC := -1, math.Inf(1)
+			for t := 0; t < nT; t++ {
+				if used[t] {
+					continue
+				}
+				rc := in.ReducedCost(res, append(partial, t), b)
+				if rc < bestRC {
+					bestRC, bestT = rc, t
+				}
+			}
+			partial = append(partial, bestT)
+			used[bestT] = true
+		}
+
+		rc := in.ReducedCost(res, partial, b)
+		if rc >= -opts.Eps || inQ[partial.Key()] {
+			if !opts.ExhaustiveOracle || nT > 8 {
+				break
+			}
+			// Ablation mode: certify optimality (or find a column the
+			// greedy oracle missed) by pricing every ordering.
+			bestRC, bestO := math.Inf(1), game.Ordering(nil)
+			for _, o := range game.AllOrderings(nT) {
+				if inQ[o.Key()] {
+					continue
+				}
+				if c := in.ReducedCost(res, o, b); c < bestRC {
+					bestRC, bestO = c, o
+				}
+			}
+			if bestO == nil || bestRC >= -opts.Eps {
+				break
+			}
+			partial = bestO
+		}
+		Q = append(Q, partial)
+		inQ[partial.Key()] = true
+	}
+
+	return &MixedPolicy{Q: Q, Po: res.Po, Thresholds: b.Clone(), Objective: res.Objective}, nil
+}
+
+// Exact solves the fixed-threshold LP over every ordering of the alert
+// types. It is exponential in |T| and refuses |T| > 8; use CGGS beyond
+// that. This is the "solving the linear program to optimality" inner
+// solver used for Tables III, IV and VI (γ¹).
+func Exact(in *game.Instance, b game.Thresholds) (*MixedPolicy, error) {
+	all := game.AllOrderings(in.G.NumTypes())
+	res, err := in.SolveFixed(all, b)
+	if err != nil {
+		return nil, err
+	}
+	return &MixedPolicy{Q: all, Po: res.Po, Thresholds: b.Clone(), Objective: res.Objective}, nil
+}
+
+// Inner is a fixed-threshold solver: it returns the auditor's optimal (or
+// approximately optimal) mixed strategy for the given thresholds. ISHM is
+// parameterized over it — Exact reproduces Table IV, CGGS reproduces
+// Table V.
+type Inner func(in *game.Instance, b game.Thresholds) (*MixedPolicy, error)
+
+// ExactInner adapts Exact to the Inner signature.
+func ExactInner(in *game.Instance, b game.Thresholds) (*MixedPolicy, error) {
+	return Exact(in, b)
+}
+
+// CGGSInner adapts CGGS with default options to the Inner signature.
+func CGGSInner(in *game.Instance, b game.Thresholds) (*MixedPolicy, error) {
+	return CGGS(in, b, CGGSOptions{})
+}
+
+// BenefitOrdering returns alert types sorted by decreasing maximum
+// adversary benefit — both the CGGS warm start and the "Audit based on
+// benefit" baseline's fixed priority order.
+func BenefitOrdering(g *game.Game) game.Ordering {
+	nT := g.NumTypes()
+	maxBenefit := make([]float64, nT)
+	for e := range g.Attacks {
+		for _, a := range g.Attacks[e] {
+			for t, p := range a.TypeProbs {
+				if p > 0 && a.Benefit > maxBenefit[t] {
+					maxBenefit[t] = a.Benefit
+				}
+			}
+		}
+	}
+	o := make(game.Ordering, nT)
+	for i := range o {
+		o[i] = i
+	}
+	sort.SliceStable(o, func(i, j int) bool { return maxBenefit[o[i]] > maxBenefit[o[j]] })
+	return o
+}

@@ -1,0 +1,86 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"auditgame/internal/game"
+)
+
+func TestGreedyDescentImprovesOnCaps(t *testing.T) {
+	in := testInstance(t, 3)
+	caps := game.Thresholds(in.G.ThresholdCaps())
+	initial, err := Exact(in, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, err := GreedyDescent(in, GreedyDescentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gd.Policy.Objective > initial.Objective+1e-9 {
+		t.Fatalf("descent (%v) worse than its own start (%v)", gd.Policy.Objective, initial.Objective)
+	}
+	if gd.Evaluations == 0 {
+		t.Fatal("no evaluations counted")
+	}
+}
+
+func TestGreedyDescentNearBruteForce(t *testing.T) {
+	in := testInstance(t, 3)
+	bf, err := BruteForce(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, err := GreedyDescent(in, GreedyDescentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gd.Policy.Objective < bf.Policy.Objective-1e-7 {
+		t.Fatalf("descent (%v) beat the grid optimum (%v) on the same grid", gd.Policy.Objective, bf.Policy.Objective)
+	}
+	scale := math.Max(1, math.Abs(bf.Policy.Objective))
+	if gd.Policy.Objective > bf.Policy.Objective+0.3*scale {
+		t.Fatalf("descent (%v) far from brute force (%v)", gd.Policy.Objective, bf.Policy.Objective)
+	}
+}
+
+func TestGreedyDescentRespectsMaxMoves(t *testing.T) {
+	in := testInstance(t, 3)
+	gd, err := GreedyDescent(in, GreedyDescentOptions{MaxMoves: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gd.Moves > 1 {
+		t.Fatalf("moves = %d, cap was 1", gd.Moves)
+	}
+}
+
+func TestDescentVsISHMBothRun(t *testing.T) {
+	in := testInstance(t, 3)
+	gd, is, err := DescentVsISHM(in, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gd.Policy == nil || is.Policy == nil {
+		t.Fatal("missing results")
+	}
+	// Both are heuristics on (nearly) the same landscape; they should
+	// land in the same basin on this small game.
+	if Gap(gd.Policy.Objective, is.Policy.Objective) > 0.35 {
+		t.Fatalf("descent %v vs ISHM %v: unexpectedly far apart",
+			gd.Policy.Objective, is.Policy.Objective)
+	}
+}
+
+func TestGap(t *testing.T) {
+	if Gap(0, 0) != 0 {
+		t.Fatal("Gap(0,0) != 0")
+	}
+	if g := Gap(1, 2); math.Abs(g-0.5) > 1e-12 {
+		t.Fatalf("Gap(1,2) = %v", g)
+	}
+	if g := Gap(-4, -5); math.Abs(g-0.2) > 1e-12 {
+		t.Fatalf("Gap(-4,-5) = %v", g)
+	}
+}

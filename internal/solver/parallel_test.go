@@ -1,0 +1,74 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"auditgame/internal/game"
+	"auditgame/internal/sample"
+)
+
+func TestISHMParallelMatchesSerial(t *testing.T) {
+	for _, budget := range []float64{2, 3, 5} {
+		serialIn := testInstance(t, budget)
+		parallelIn := testInstance(t, budget)
+		serial, err := ISHM(serialIn, ISHMOptions{
+			Epsilon: 0.2, Inner: ExactInner, EvaluateInitial: true, Memoize: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := ISHM(parallelIn, ISHMOptions{
+			Epsilon: 0.2, Inner: ExactInner, EvaluateInitial: true, Memoize: true, Workers: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(serial.Policy.Objective-parallel.Policy.Objective) > 1e-9 {
+			t.Fatalf("B=%v: serial %v vs parallel %v", budget,
+				serial.Policy.Objective, parallel.Policy.Objective)
+		}
+		if serial.Policy.Thresholds.Key() != parallel.Policy.Thresholds.Key() {
+			t.Fatalf("B=%v: thresholds diverged: %v vs %v", budget,
+				serial.Policy.Thresholds, parallel.Policy.Thresholds)
+		}
+		if serial.Evaluations != parallel.Evaluations {
+			t.Fatalf("B=%v: evaluation counts diverged: %d vs %d", budget,
+				serial.Evaluations, parallel.Evaluations)
+		}
+	}
+}
+
+func TestInstancePalConcurrentSafety(t *testing.T) {
+	g := game.SynA()
+	src, err := sample.NewEnumerator(g.Dists(), sample.DefaultEnumerationLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := game.NewInstance(g, 6, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orderings := game.AllOrderings(4)
+	done := make(chan []float64, 32)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			for i := 0; i < 4; i++ {
+				o := orderings[(w+i)%len(orderings)]
+				done <- in.Pal(o, game.Thresholds{2, 2, 2, 2})
+			}
+		}(w)
+	}
+	var first []float64
+	for i := 0; i < 32; i++ {
+		pal := <-done
+		for _, p := range pal {
+			if p < 0 || p > 1 {
+				t.Fatalf("corrupt pal under concurrency: %v", pal)
+			}
+		}
+		if first == nil {
+			first = pal
+		}
+	}
+}

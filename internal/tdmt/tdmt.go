@@ -1,0 +1,217 @@
+// Package tdmt implements a threat-detection and misuse-tracking substrate:
+// the component the paper assumes is already deployed (§I–II). It takes a
+// stream of database access events, classifies each against a prioritized
+// set of predicate rules into at most one alert type, and accumulates a
+// tamper-evident alert log from which per-type daily count distributions
+// Ft(n) — the game's workload model — are estimated.
+package tdmt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"auditgame/internal/dist"
+)
+
+// AccessEvent is one database access: an actor touching a target, carrying
+// whatever attributes the deployment's rules inspect.
+type AccessEvent struct {
+	// Day is the 0-based period index the event occurred in.
+	Day int
+	// Actor identifies who performed the access (employee, applicant).
+	Actor string
+	// Target identifies what was accessed (patient record, application
+	// purpose).
+	Target string
+	// Attrs carries rule-visible attributes ("actor.lastname",
+	// "target.dept", …).
+	Attrs map[string]string
+}
+
+// Attr returns the named attribute, or "" when absent.
+func (e AccessEvent) Attr(key string) string { return e.Attrs[key] }
+
+// Rule is a named predicate over access events. Rules are evaluated in
+// priority order and the first match assigns the event's alert type, which
+// realizes the paper's "each event maps to at most one alert type".
+type Rule struct {
+	// Name labels the alert type this rule raises.
+	Name string
+	// Match reports whether the event triggers the rule.
+	Match func(AccessEvent) bool
+}
+
+// Engine classifies events against an ordered rule list.
+type Engine struct {
+	rules []Rule
+}
+
+// NewEngine builds an engine from rules in priority order. Rule i raises
+// alert type i.
+func NewEngine(rules []Rule) (*Engine, error) {
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("tdmt: engine needs at least one rule")
+	}
+	for i, r := range rules {
+		if r.Match == nil {
+			return nil, fmt.Errorf("tdmt: rule %d (%s) has nil predicate", i, r.Name)
+		}
+	}
+	return &Engine{rules: rules}, nil
+}
+
+// NumTypes returns the number of alert types (rules).
+func (e *Engine) NumTypes() int { return len(e.rules) }
+
+// TypeName returns the name of alert type t.
+func (e *Engine) TypeName(t int) string { return e.rules[t].Name }
+
+// Classify returns the alert type triggered by the event, or ok = false
+// when the event is benign (no rule matches).
+func (e *Engine) Classify(ev AccessEvent) (alertType int, ok bool) {
+	for i, r := range e.rules {
+		if r.Match(ev) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Alert is one logged alert.
+type Alert struct {
+	Day    int
+	Type   int
+	Actor  string
+	Target string
+}
+
+// Log is an append-only alert log. The paper's workload model assumes the
+// log is tamper-proof; here that simply means the API exposes no mutation
+// beyond append.
+type Log struct {
+	numTypes int
+	days     int
+	alerts   []Alert
+	// counts[t][d] is the number of type-t alerts on day d.
+	counts [][]int
+}
+
+// NewLog creates a log for the given number of alert types and days.
+func NewLog(numTypes, days int) (*Log, error) {
+	if numTypes <= 0 || days <= 0 {
+		return nil, fmt.Errorf("tdmt: log needs positive types (%d) and days (%d)", numTypes, days)
+	}
+	l := &Log{numTypes: numTypes, days: days, counts: make([][]int, numTypes)}
+	for t := range l.counts {
+		l.counts[t] = make([]int, days)
+	}
+	return l, nil
+}
+
+// Append records an alert. It returns an error when the alert is outside
+// the log's configured shape.
+func (l *Log) Append(a Alert) error {
+	if a.Type < 0 || a.Type >= l.numTypes {
+		return fmt.Errorf("tdmt: alert type %d outside [0,%d)", a.Type, l.numTypes)
+	}
+	if a.Day < 0 || a.Day >= l.days {
+		return fmt.Errorf("tdmt: alert day %d outside [0,%d)", a.Day, l.days)
+	}
+	l.alerts = append(l.alerts, a)
+	l.counts[a.Type][a.Day]++
+	return nil
+}
+
+// Len returns the total number of alerts logged.
+func (l *Log) Len() int { return len(l.alerts) }
+
+// Days returns the number of days the log covers.
+func (l *Log) Days() int { return l.days }
+
+// NumTypes returns the number of alert types the log tracks.
+func (l *Log) NumTypes() int { return l.numTypes }
+
+// DailyCounts returns the per-day counts of alert type t (a copy).
+func (l *Log) DailyCounts(t int) []int {
+	out := make([]int, l.days)
+	copy(out, l.counts[t])
+	return out
+}
+
+// Day returns the alerts of a given day grouped into per-type bins —
+// exactly the "audit bins" the auditor's recourse policy consumes.
+func (l *Log) Day(day int) [][]Alert {
+	bins := make([][]Alert, l.numTypes)
+	for _, a := range l.alerts {
+		if a.Day == day {
+			bins[a.Type] = append(bins[a.Type], a)
+		}
+	}
+	return bins
+}
+
+// TypeStats returns the sample mean and (population) standard deviation of
+// the daily counts of type t.
+func (l *Log) TypeStats(t int) (mean, std float64) {
+	n := float64(l.days)
+	var sum float64
+	for _, c := range l.counts[t] {
+		sum += float64(c)
+	}
+	mean = sum / n
+	var sq float64
+	for _, c := range l.counts[t] {
+		d := float64(c) - mean
+		sq += d * d
+	}
+	return mean, math.Sqrt(sq / n)
+}
+
+// EmpiricalDists fits one empirical distribution per alert type from the
+// log's daily counts — the Ft(n) estimation step of §II-A.
+func (l *Log) EmpiricalDists() []dist.Distribution {
+	out := make([]dist.Distribution, l.numTypes)
+	for t := range out {
+		out[t] = dist.NewEmpirical(l.counts[t])
+	}
+	return out
+}
+
+// Actors returns the distinct actors that triggered at least one alert,
+// sorted — the pool from which the game's potential-adversary sample is
+// drawn (§V-A: "employees … who generate at least one alert").
+func (l *Log) Actors() []string {
+	seen := map[string]bool{}
+	for _, a := range l.alerts {
+		seen[a.Actor] = true
+	}
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Process classifies a batch of events through the engine into a fresh log
+// covering the given number of days, returning the log and the number of
+// benign (unclassified) events.
+func Process(e *Engine, events []AccessEvent, days int) (*Log, int, error) {
+	l, err := NewLog(e.NumTypes(), days)
+	if err != nil {
+		return nil, 0, err
+	}
+	benign := 0
+	for _, ev := range events {
+		t, ok := e.Classify(ev)
+		if !ok {
+			benign++
+			continue
+		}
+		if err := l.Append(Alert{Day: ev.Day, Type: t, Actor: ev.Actor, Target: ev.Target}); err != nil {
+			return nil, 0, err
+		}
+	}
+	return l, benign, nil
+}

@@ -1,0 +1,217 @@
+package tdmt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func twoRuleEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := NewEngine([]Rule{
+		{Name: "vip", Match: func(ev AccessEvent) bool { return ev.Attr("target.vip") == "yes" }},
+		{Name: "self", Match: func(ev AccessEvent) bool { return ev.Actor == ev.Target }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineClassifyFirstMatchWins(t *testing.T) {
+	e := twoRuleEngine(t)
+	// Event matching both rules must be labelled by the first.
+	ev := AccessEvent{Actor: "a", Target: "a", Attrs: map[string]string{"target.vip": "yes"}}
+	typ, ok := e.Classify(ev)
+	if !ok || typ != 0 {
+		t.Fatalf("Classify = (%d,%v), want (0,true)", typ, ok)
+	}
+	// Second rule only.
+	typ, ok = e.Classify(AccessEvent{Actor: "a", Target: "a"})
+	if !ok || typ != 1 {
+		t.Fatalf("Classify = (%d,%v), want (1,true)", typ, ok)
+	}
+	// Benign.
+	if _, ok := e.Classify(AccessEvent{Actor: "a", Target: "b"}); ok {
+		t.Fatal("benign event classified")
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := NewEngine(nil); err == nil {
+		t.Fatal("expected error for empty rules")
+	}
+	if _, err := NewEngine([]Rule{{Name: "x"}}); err == nil {
+		t.Fatal("expected error for nil predicate")
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	e := twoRuleEngine(t)
+	if e.NumTypes() != 2 || e.TypeName(0) != "vip" || e.TypeName(1) != "self" {
+		t.Fatal("type metadata mismatch")
+	}
+}
+
+func TestLogAppendAndCounts(t *testing.T) {
+	l, err := NewLog(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts := []Alert{
+		{Day: 0, Type: 0, Actor: "a", Target: "x"},
+		{Day: 0, Type: 0, Actor: "b", Target: "y"},
+		{Day: 1, Type: 1, Actor: "a", Target: "z"},
+		{Day: 2, Type: 0, Actor: "c", Target: "x"},
+	}
+	for _, a := range alerts {
+		if err := l.Append(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Len() != 4 || l.Days() != 3 || l.NumTypes() != 2 {
+		t.Fatal("log shape wrong")
+	}
+	if got := l.DailyCounts(0); got[0] != 2 || got[1] != 0 || got[2] != 1 {
+		t.Fatalf("DailyCounts(0) = %v", got)
+	}
+	if got := l.DailyCounts(1); got[1] != 1 {
+		t.Fatalf("DailyCounts(1) = %v", got)
+	}
+}
+
+func TestLogAppendValidation(t *testing.T) {
+	l, _ := NewLog(2, 2)
+	if err := l.Append(Alert{Day: 0, Type: 5}); err == nil {
+		t.Fatal("expected error for bad type")
+	}
+	if err := l.Append(Alert{Day: 9, Type: 0}); err == nil {
+		t.Fatal("expected error for bad day")
+	}
+	if _, err := NewLog(0, 1); err == nil {
+		t.Fatal("expected error for zero types")
+	}
+	if _, err := NewLog(1, 0); err == nil {
+		t.Fatal("expected error for zero days")
+	}
+}
+
+func TestLogDayBins(t *testing.T) {
+	l, _ := NewLog(2, 2)
+	l.Append(Alert{Day: 0, Type: 0, Actor: "a"})
+	l.Append(Alert{Day: 0, Type: 1, Actor: "b"})
+	l.Append(Alert{Day: 1, Type: 1, Actor: "c"})
+	bins := l.Day(0)
+	if len(bins[0]) != 1 || len(bins[1]) != 1 {
+		t.Fatalf("day-0 bins = %v", bins)
+	}
+	bins = l.Day(1)
+	if len(bins[0]) != 0 || len(bins[1]) != 1 {
+		t.Fatalf("day-1 bins = %v", bins)
+	}
+}
+
+func TestTypeStats(t *testing.T) {
+	l, _ := NewLog(1, 4)
+	for day, n := range []int{2, 4, 4, 6} {
+		for i := 0; i < n; i++ {
+			l.Append(Alert{Day: day, Type: 0})
+		}
+	}
+	mean, std := l.TypeStats(0)
+	if math.Abs(mean-4) > 1e-12 {
+		t.Fatalf("mean = %v, want 4", mean)
+	}
+	if math.Abs(std-math.Sqrt2) > 1e-12 {
+		t.Fatalf("std = %v, want √2", std)
+	}
+}
+
+func TestEmpiricalDists(t *testing.T) {
+	l, _ := NewLog(1, 3)
+	l.Append(Alert{Day: 0, Type: 0})
+	l.Append(Alert{Day: 0, Type: 0})
+	l.Append(Alert{Day: 2, Type: 0})
+	ds := l.EmpiricalDists()
+	// Daily counts: 2, 0, 1 → uniform over {0,1,2}.
+	if math.Abs(ds[0].Mean()-1) > 1e-12 {
+		t.Fatalf("empirical mean = %v, want 1", ds[0].Mean())
+	}
+}
+
+func TestActorsSortedDistinct(t *testing.T) {
+	l, _ := NewLog(1, 1)
+	for _, a := range []string{"zed", "amy", "zed", "bob"} {
+		l.Append(Alert{Day: 0, Type: 0, Actor: a})
+	}
+	got := l.Actors()
+	want := []string{"amy", "bob", "zed"}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("Actors = %v, want %v", got, want)
+	}
+}
+
+func TestProcessPipeline(t *testing.T) {
+	e := twoRuleEngine(t)
+	events := []AccessEvent{
+		{Day: 0, Actor: "a", Target: "a"},                                                 // self → type 1
+		{Day: 0, Actor: "a", Target: "b"},                                                 // benign
+		{Day: 1, Actor: "b", Target: "v", Attrs: map[string]string{"target.vip": "yes"}},  // vip
+		{Day: 1, Actor: "c", Target: "v2", Attrs: map[string]string{"target.vip": "yes"}}, // vip
+	}
+	l, benign, err := Process(e, events, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if benign != 1 {
+		t.Fatalf("benign = %d, want 1", benign)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("logged %d alerts, want 3", l.Len())
+	}
+	if got := l.DailyCounts(0); got[1] != 2 {
+		t.Fatalf("vip counts = %v", got)
+	}
+}
+
+func TestProcessRejectsBadDays(t *testing.T) {
+	e := twoRuleEngine(t)
+	_, _, err := Process(e, []AccessEvent{{Day: 5, Actor: "a", Target: "a"}}, 2)
+	if err == nil {
+		t.Fatal("expected error for out-of-range day")
+	}
+}
+
+// Property: for any sequence of valid alerts, Σ_t Σ_d counts = Len, and
+// Day() bins partition the log.
+func TestLogCountConsistencyProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		const types, days = 3, 4
+		l, _ := NewLog(types, days)
+		for _, r := range raw {
+			a := Alert{Day: int(r) % days, Type: int(r/4) % types, Actor: "a"}
+			if err := l.Append(a); err != nil {
+				return false
+			}
+		}
+		total := 0
+		for typ := 0; typ < types; typ++ {
+			for _, c := range l.DailyCounts(typ) {
+				total += c
+			}
+		}
+		if total != l.Len() {
+			return false
+		}
+		binTotal := 0
+		for d := 0; d < days; d++ {
+			for _, bin := range l.Day(d) {
+				binTotal += len(bin)
+			}
+		}
+		return binTotal == l.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package auditgame
+
+import (
+	"fmt"
+	"io"
+
+	"auditgame/internal/policy"
+)
+
+// Policy is a deployable audit policy: a serializable mixed strategy plus
+// the recourse executor that selects which realized alerts to audit each
+// period.
+type Policy = policy.Policy
+
+// AuditSelection is one period's recourse outcome.
+type AuditSelection = policy.Selection
+
+// PolicyFrom packages a solved MixedPolicy into a deployable Policy for
+// the given game and budget.
+func PolicyFrom(g *Game, budget float64, m *MixedPolicy) *Policy {
+	p := &Policy{
+		Budget:       budget,
+		ExpectedLoss: m.Objective,
+	}
+	for _, t := range g.Types {
+		p.TypeNames = append(p.TypeNames, t.Name)
+		p.Costs = append(p.Costs, t.Cost)
+	}
+	p.Thresholds = append(p.Thresholds, m.Thresholds...)
+	support, probs := m.Support()
+	for i, o := range support {
+		p.Orderings = append(p.Orderings, append([]int(nil), o...))
+		p.Probs = append(p.Probs, probs[i])
+	}
+	return p
+}
+
+// LoadPolicy reads a policy previously written with Policy.Save and
+// validates it.
+func LoadPolicy(r io.Reader) (*Policy, error) { return policy.Load(r) }
+
+// CountsForDay extracts the per-type alert counts of one day from an
+// alert log, in the shape Policy.Select consumes.
+func CountsForDay(l *AlertLog, day int) ([]int, error) {
+	if day < 0 || day >= l.Days() {
+		return nil, fmt.Errorf("auditgame: day %d outside log range [0,%d)", day, l.Days())
+	}
+	counts := make([]int, l.NumTypes())
+	for t := range counts {
+		counts[t] = l.DailyCounts(t)[day]
+	}
+	return counts, nil
+}

@@ -1,0 +1,114 @@
+package auditgame
+
+import (
+	"auditgame/internal/game"
+	"auditgame/internal/solver"
+)
+
+// MixedPolicy is a solved auditor strategy: a distribution over alert-type
+// orderings plus the thresholds it was computed for.
+type MixedPolicy = solver.MixedPolicy
+
+// CGGSConfig tunes column generation (Algorithm 1 of the paper).
+type CGGSConfig struct {
+	// Initial seeds the column pool; nil means the benefit-greedy
+	// ordering.
+	Initial Ordering
+	// MaxColumns caps generated columns (0 = a size-derived default).
+	MaxColumns int
+	// ExhaustiveOracle prices every ordering when the greedy oracle
+	// stalls, making the method exact for ≤ 8 alert types.
+	ExhaustiveOracle bool
+}
+
+// SolveCGGS computes the optimal randomized ordering for fixed thresholds
+// by column generation with a greedy ordering oracle.
+func SolveCGGS(in *Instance, thresholds Thresholds, cfg CGGSConfig) (*MixedPolicy, error) {
+	return solver.CGGS(in, thresholds, solver.CGGSOptions{
+		Initial:          cfg.Initial,
+		MaxColumns:       cfg.MaxColumns,
+		ExhaustiveOracle: cfg.ExhaustiveOracle,
+	})
+}
+
+// SolveExact computes the optimal randomized ordering for fixed thresholds
+// over every permutation of alert types. Exponential in the number of
+// types; refuses more than 8.
+func SolveExact(in *Instance, thresholds Thresholds) (*MixedPolicy, error) {
+	return solver.Exact(in, thresholds)
+}
+
+// ISHMConfig tunes the Iterative Shrink Heuristic Method (Algorithm 2).
+type ISHMConfig struct {
+	// Epsilon is the shrink step size in (0,1); the paper recommends
+	// ≤ 0.2 for near-optimal results.
+	Epsilon float64
+	// ExactInner solves each fixed-threshold LP over all orderings
+	// instead of by column generation. Only sensible for few types.
+	ExactInner bool
+	// MaxSubset caps the shrink-subset size (0 = number of types).
+	MaxSubset int
+}
+
+// ISHMResult is the outcome of an ISHM search.
+type ISHMResult = solver.ISHMResult
+
+// SolveISHM searches thresholds with ISHM, solving the inner ordering LP
+// by CGGS (or exactly, per cfg), and returns the best policy found along
+// with exploration accounting.
+func SolveISHM(in *Instance, cfg ISHMConfig) (*ISHMResult, error) {
+	inner := solver.CGGSInner
+	if cfg.ExactInner {
+		inner = solver.ExactInner
+	}
+	return solver.ISHM(in, solver.ISHMOptions{
+		Epsilon:         cfg.Epsilon,
+		Inner:           inner,
+		EvaluateInitial: true,
+		Memoize:         true,
+		MaxSubset:       cfg.MaxSubset,
+	})
+}
+
+// BruteForceResult is the exact OAP optimum plus search accounting.
+type BruteForceResult = solver.BruteForceResult
+
+// SolveBruteForce exhaustively finds the optimal threshold vector on the
+// integer grid, solving the ordering LP exactly at every point. Ground
+// truth for small games only.
+func SolveBruteForce(in *Instance) (*BruteForceResult, error) {
+	return solver.BruteForce(in)
+}
+
+// Loss evaluates the auditor's expected loss of an arbitrary mixed policy
+// against best-responding attackers.
+func Loss(in *Instance, pol *MixedPolicy) float64 {
+	return in.Loss(pol.Q, pol.Po, pol.Thresholds)
+}
+
+// Baseline strategies of the paper's §V-B, for comparison studies.
+
+// BaselineRandomOrders is the loss when the auditor randomizes uniformly
+// over alert-type orderings while keeping the given thresholds.
+func BaselineRandomOrders(in *Instance, thresholds Thresholds, samples int, seed int64) float64 {
+	return solver.RandomOrderLoss(in, thresholds, samples, seed)
+}
+
+// BaselineRandomThresholds is the mean loss over n random threshold draws,
+// each played with its optimal ordering mixture.
+func BaselineRandomThresholds(in *Instance, n int, seed int64) (float64, error) {
+	return solver.RandomThresholdLoss(in, n, seed, solver.CGGSInner)
+}
+
+// BaselineGreedyBenefit is the loss of the non-strategic policy that
+// audits types in fixed order of adversary benefit, exhaustively.
+func BaselineGreedyBenefit(in *Instance) float64 {
+	return solver.GreedyBenefitLoss(in)
+}
+
+// BenefitOrdering returns alert types sorted by decreasing maximum
+// adversary benefit.
+func BenefitOrdering(g *Game) Ordering { return solver.BenefitOrdering(g) }
+
+// AllOrderings enumerates every permutation of n alert types (n ≤ 8).
+func AllOrderings(n int) []Ordering { return game.AllOrderings(n) }
