@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: verify fmt vet build test bench
+
+# verify is the tier-1 gate: formatting, static checks, full build, and
+# the complete test suite. CI runs exactly this target.
+verify: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# bench runs the paper-artifact and ablation benchmarks briefly.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -1,0 +1,3 @@
+module auditgame
+
+go 1.24

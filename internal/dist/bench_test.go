@@ -1,0 +1,56 @@
+package dist
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// BenchmarkPMF shows the table-backed PMF lookup is O(1): ns/op stays
+// flat as the support grows three orders of magnitude (D1 in
+// DESIGN.md). The exact enumerator calls PMF for every point of every
+// type's support per joint realization, so this is the innermost
+// operation of exact policy evaluation.
+func BenchmarkPMF(b *testing.B) {
+	for _, size := range []int{10, 100, 1000, 10000, 100000} {
+		counts := make([]int, size)
+		for i := range counts {
+			counts[i] = i
+		}
+		d := NewEmpirical(counts)
+		lo, hi := d.Support()
+		span := hi - lo + 1
+		b.Run("support-"+strconv.Itoa(size), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				acc += d.PMF(lo + i%span)
+			}
+			sinkF = acc
+		})
+	}
+}
+
+// BenchmarkSample shows inverse-CDF sampling is O(log n) in the support
+// size: ns/op grows only logarithmically across the same sweep.
+func BenchmarkSample(b *testing.B) {
+	for _, size := range []int{10, 1000, 100000} {
+		counts := make([]int, size)
+		for i := range counts {
+			counts[i] = i
+		}
+		d := NewEmpirical(counts)
+		b.Run("support-"+strconv.Itoa(size), func(b *testing.B) {
+			r := rand.New(rand.NewSource(1))
+			var acc int
+			for i := 0; i < b.N; i++ {
+				acc += d.Sample(r)
+			}
+			sinkI = acc
+		})
+	}
+}
+
+var (
+	sinkF float64
+	sinkI int
+)

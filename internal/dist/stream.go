@@ -1,0 +1,80 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// StreamEstimator maintains a sliding-window model of one alert type's
+// per-period count, for deployments that refit their workload
+// distribution as audit days accumulate (the practical answer to the
+// paper's known-F_t assumption of §II-A). Observations beyond the
+// window evict the oldest, so the model tracks drift with bounded
+// memory. It is not safe for concurrent use.
+type StreamEstimator struct {
+	buf   []int // ring buffer of the most recent observations
+	next  int   // index the next observation overwrites
+	count int   // observations held, ≤ len(buf)
+}
+
+// NewStreamEstimator creates an estimator over the last window periods.
+func NewStreamEstimator(window int) (*StreamEstimator, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("dist: stream window %d must be ≥ 1", window)
+	}
+	return &StreamEstimator{buf: make([]int, window)}, nil
+}
+
+// Observe records one period's count, evicting the oldest observation
+// once the window is full. Negative counts are clipped to 0.
+func (e *StreamEstimator) Observe(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.buf[e.next] = n
+	e.next = (e.next + 1) % len(e.buf)
+	if e.count < len(e.buf) {
+		e.count++
+	}
+}
+
+// Len returns the number of observations currently in the window.
+func (e *StreamEstimator) Len() int { return e.count }
+
+// Mean returns the mean of the windowed observations, or 0 before any
+// observation. The window is small, so recomputing on demand is cheaper
+// than fighting the rounding drift of incremental sums.
+func (e *StreamEstimator) Mean() float64 {
+	if e.count == 0 {
+		return 0
+	}
+	sum := 0
+	for _, n := range e.buf[:e.count] {
+		sum += n
+	}
+	return float64(sum) / float64(e.count)
+}
+
+// SnapshotGaussian freezes the window into a discretized Gaussian at
+// the given two-sided coverage, using the sample standard deviation
+// (a single observation, or identical ones, yield a point mass). It
+// errors if nothing has been observed yet.
+func (e *StreamEstimator) SnapshotGaussian(coverage float64) (Distribution, error) {
+	if e.count == 0 {
+		return nil, fmt.Errorf("dist: stream estimator has no observations")
+	}
+	if !(coverage > 0 && coverage < 1) {
+		return nil, fmt.Errorf("dist: coverage %v must be in (0, 1)", coverage)
+	}
+	mean := e.Mean()
+	var ss float64
+	for _, n := range e.buf[:e.count] {
+		d := float64(n) - mean
+		ss += d * d
+	}
+	std := 0.0
+	if e.count > 1 {
+		std = math.Sqrt(ss / float64(e.count-1))
+	}
+	return newGaussian(mean, std, coverage)
+}
