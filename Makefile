@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt vet build test bench
+.PHONY: verify fmt vet build test race bench
 
 # verify is the tier-1 gate: formatting, static checks, full build, and
 # the complete test suite. CI runs exactly this target.
@@ -21,6 +21,25 @@ build:
 test:
 	$(GO) test ./...
 
-# bench runs the paper-artifact and ablation benchmarks briefly.
+# race runs the suite under the race detector; the detection-probability
+# engine and the parallel solver loops carry dedicated hammer tests.
+race:
+	$(GO) test -race ./...
+
+# bench runs the detection-probability and paper-table benchmarks and
+# emits BENCH_PR2.json (ns/op, B/op, allocs/op plus custom metrics) via
+# cmd/benchjson. Pal benchmarks get enough iterations for stable ns/op;
+# the table benchmarks are single-shot because each regenerates a full
+# experiment.
 bench:
+	$(GO) test -run=NONE -bench='BenchmarkPal' -benchmem -benchtime=200x . > bench.out
+	$(GO) test -run=NONE -bench='BenchmarkTable' -benchmem -benchtime=1x . >> bench.out
+	@cat bench.out
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR2.json.tmp
+	mv BENCH_PR2.json.tmp BENCH_PR2.json
+	@rm -f bench.out
+	@echo "wrote BENCH_PR2.json"
+
+# benchfull runs every benchmark in the repo briefly.
+benchfull:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -463,6 +463,48 @@ func BenchmarkPalEvaluation(b *testing.B) {
 	}
 }
 
+// BenchmarkPalCacheHit measures the cached lookup path of Pal — the case
+// every solver hits most. The contract is zero allocations: interned key
+// hashing happens on the stack and the cached slice is returned directly.
+func BenchmarkPalCacheHit(b *testing.B) {
+	g := game.SynA()
+	src, err := sample.NewEnumerator(g.Dists(), sample.DefaultEnumerationLimit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := synAInstance(b, 10, src)
+	o := game.Ordering{0, 1, 2, 3}
+	thr := game.Thresholds{3, 3, 3, 3}
+	in.Pal(o, thr) // populate
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Pal(o, thr)
+	}
+}
+
+// BenchmarkPalBatch measures evaluating all 24 Syn A orderings in one
+// batched pass over the realization matrix — the shape of every
+// fixed-threshold LP build and of the CGGS pricing step.
+func BenchmarkPalBatch(b *testing.B) {
+	g := game.SynA()
+	src, err := sample.NewEnumerator(g.Dists(), sample.DefaultEnumerationLimit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := synAInstance(b, 10, src)
+	all := game.AllOrderings(4)
+	base := game.Thresholds{3, 3, 3, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A strictly increasing threshold defeats the cache, so every
+		// iteration evaluates all 24 orderings from scratch.
+		thr := base.Clone()
+		thr[0] = 3 + float64(i)*1e-9
+		in.PalBatch(all, thr)
+	}
+}
+
 // BenchmarkRestrictedLP measures one master-LP solve of the column
 // generation loop on Syn A with all 24 orderings.
 func BenchmarkRestrictedLP(b *testing.B) {

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"io"
+	"runtime"
 
 	"auditgame/internal/credit"
 	"auditgame/internal/emr"
@@ -129,6 +130,7 @@ func figure(g *game.Game, budgets []float64, opt FigOptions) (*FigureResult, err
 				EvaluateInitial: true,
 				Memoize:         true,
 				MaxSubset:       opt.MaxSubset,
+				Workers:         runtime.GOMAXPROCS(0),
 			})
 			if err != nil {
 				return fmt.Errorf("exp: figure ISHM B=%v ε=%v: %w", B, eps, err)

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 
 	"auditgame/internal/game"
@@ -106,7 +107,10 @@ func (g *GridResult) Objectives(ei int) []float64 {
 
 // ishmGrid runs ISHM across the (budget, epsilon) grid with the given
 // inner solver. Budget rows run in parallel; within a row the instance
-// (and its detection-probability cache) is shared across the ε sweep.
+// (and its detection-probability cache) is shared across the ε sweep,
+// and the ISHM combo loop fans out again so a grid narrower than the
+// machine still fills every core. Results are deterministic at every
+// level (see solver.ISHMOptions.Workers and game/engine.go).
 func ishmGrid(budgets, epsilons []float64, inner solver.Inner) (*GridResult, error) {
 	res := &GridResult{Budgets: budgets, Epsilons: epsilons}
 	res.Cells = make([][]GridCell, len(budgets))
@@ -123,6 +127,7 @@ func ishmGrid(budgets, epsilons []float64, inner solver.Inner) (*GridResult, err
 				Inner:           inner,
 				EvaluateInitial: true,
 				Memoize:         true,
+				Workers:         runtime.GOMAXPROCS(0),
 			})
 			if err != nil {
 				return fmt.Errorf("exp: ISHM B=%v ε=%v: %w", B, eps, err)

@@ -6,7 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
+	"sync/atomic"
 
 	"auditgame/internal/sample"
 )
@@ -77,6 +77,11 @@ type Instance struct {
 	Budget float64
 	Src    sample.Source
 
+	// Workers bounds the realization-sharding parallelism of Pal and
+	// PalBatch evaluations: 0 means GOMAXPROCS, 1 forces serial. Results
+	// are bitwise-identical at every setting (see engine.go).
+	Workers int
+
 	// classes are the entity equivalence classes: entities with the same
 	// deduplicated signature set share a best response, so the LP keeps
 	// one copy weighted by the summed p_e. This is an exact reduction
@@ -85,17 +90,24 @@ type Instance struct {
 	// game's 100 applicants collapse to a handful of classes.
 	classes     []entityClass
 	entityClass []int // entity index → class index
-	// zs/ws are the materialized realizations and weights of Src; Pal
-	// iterates these flat slices directly because it is the hottest
-	// loop in every solver.
-	zs []float64 // flattened realizations, row-major [len(ws)][numTypes]
-	ws []float64
-	// mu guards palCache and palEvals so solvers may evaluate
-	// concurrently (parallel ISHM combos, parallel experiment sweeps
-	// sharing an instance).
-	mu       sync.Mutex
-	palCache map[string][]float64
-	palEvals int
+	// zs/ws are the materialized realizations and weights of Src after
+	// duplicate rows merge their weights (sample.Dedup); Pal iterates
+	// these flat slices directly because it is the hottest loop in every
+	// solver. zrecip caches 1/max(z,1) per element so the kernel's
+	// audited-fraction term multiplies instead of divides.
+	zs     []float64 // flattened realizations, row-major [len(ws)][numTypes]
+	ws     []float64
+	zrecip []float64
+	nT     int
+
+	// Detection-probability engine state (engine.go): interned ordering
+	// and threshold IDs plus a sharded result cache, so concurrent
+	// solvers (parallel ISHM combos, experiment sweeps sharing an
+	// instance) hit neither a global lock nor the allocator.
+	orderings  orderingInterner
+	thresholds thresholdInterner
+	palShards  [palShardCount]palShard
+	palEvals   atomic.Int64
 }
 
 type entityClass struct {
@@ -114,15 +126,23 @@ func NewInstance(g *Game, budget float64, src sample.Source) (*Instance, error) 
 	if src == nil {
 		return nil, fmt.Errorf("game: nil realization source")
 	}
-	in := &Instance{G: g, Budget: budget, Src: src, palCache: make(map[string][]float64)}
-	src.Each(func(z sample.Realization, w float64) {
-		for _, zt := range z {
-			in.zs = append(in.zs, float64(zt))
-		}
-		in.ws = append(in.ws, w)
-	})
-	if len(in.ws) == 0 {
+	in := &Instance{G: g, Budget: budget, Src: src, nT: len(g.Types)}
+	rows, weights := sample.Dedup(src)
+	if len(rows) == 0 {
 		return nil, fmt.Errorf("game: realization source is empty")
+	}
+	in.ws = weights
+	in.zs = make([]float64, 0, len(rows)*in.nT)
+	in.zrecip = make([]float64, 0, len(rows)*in.nT)
+	for _, z := range rows {
+		for _, zt := range z {
+			v := float64(zt)
+			in.zs = append(in.zs, v)
+			if v < 1 {
+				v = 1 // the Z′ = max(Z, 1) convention of Eq. 1
+			}
+			in.zrecip = append(in.zrecip, 1/v)
+		}
 	}
 	in.entityClass = make([]int, len(g.Entities))
 	classOf := make(map[string]int)
@@ -181,72 +201,6 @@ func sigKey(s signature) string {
 	return sb.String()
 }
 
-// PalEvals returns the number of uncached Pal computations performed,
-// used by the instrumentation in Table VII-style accounting and the
-// estimator ablations.
-func (in *Instance) PalEvals() int {
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	return in.palEvals
-}
-
-// Pal returns the per-type detection probabilities Pal(o,b,t) of Eq. 1:
-// the expected audited fraction of type-t alerts under ordering o and
-// thresholds b. Types absent from a partial ordering o get probability 0.
-//
-// The expectation follows the paper's budget recursion: under realization
-// Z, earlier types in the order consume min{b_t, Z_t·C_t} budget; the
-// budget left for type t admits ⌊·/C_t⌋ audits, further capped by the
-// threshold and the realized count. Eq. 1's ratio n_t/Z_t is evaluated at
-// Z′_t = max(Z_t, 1): the attack's own alert makes the bin non-empty, and
-// the "attacks are rare" approximation keeps benign consumption at Z_t.
-func (in *Instance) Pal(o Ordering, b Thresholds) []float64 {
-	key := o.Key() + "|" + b.Key()
-	in.mu.Lock()
-	if pal, ok := in.palCache[key]; ok {
-		in.mu.Unlock()
-		return pal
-	}
-	in.mu.Unlock()
-
-	nT := len(in.G.Types)
-	pal := make([]float64, nT)
-	// Per-type constants hoisted out of the realization loop.
-	costs := make([]float64, len(o))
-	caps := make([]float64, len(o))
-	for i, t := range o {
-		costs[i] = in.G.Types[t].Cost
-		caps[i] = math.Floor(b[t] / costs[i])
-	}
-	for zi, w := range in.ws {
-		row := in.zs[zi*nT : (zi+1)*nT]
-		spent := 0.0
-		for i, t := range o {
-			ct := costs[i]
-			avail := math.Floor((in.Budget - spent) / ct)
-			if avail < 0 {
-				avail = 0
-			}
-			zt := row[t]
-			ztEff := zt
-			if ztEff < 1 {
-				ztEff = 1
-			}
-			nt := math.Min(avail, math.Min(caps[i], ztEff))
-			if nt > 0 {
-				pal[t] += w * nt / ztEff
-			}
-			spent += math.Min(b[t], zt*ct)
-		}
-	}
-
-	in.mu.Lock()
-	in.palEvals++
-	in.palCache[key] = pal
-	in.mu.Unlock()
-	return pal
-}
-
 // PalInjected returns the exact detection probability of a single attack
 // alert of type attackType under ordering o and thresholds b, accounting
 // for the alert itself: the attack inflates its bin from Z to Z+1, which
@@ -255,24 +209,29 @@ func (in *Instance) Pal(o Ordering, b Thresholds) []float64 {
 // rare-attack approximation; the difference between the two quantifies
 // that approximation and is what the replay validation measures.
 func (in *Instance) PalInjected(o Ordering, b Thresholds, attackType int) float64 {
+	// Per-position constants hoisted out of the realization loop, as in
+	// the Pal kernel.
+	costs := make([]float64, len(o))
+	caps := make([]float64, len(o))
+	for i, t := range o {
+		costs[i] = in.G.Types[t].Cost
+		caps[i] = math.Floor(b[t] / costs[i])
+	}
 	var out float64
-	nT := len(in.G.Types)
+	nT := in.nT
 	for zi, w := range in.ws {
 		row := in.zs[zi*nT : (zi+1)*nT]
 		spent := 0.0
-		for _, t := range o {
-			ct := in.G.Types[t].Cost
+		for i, t := range o {
+			ct := costs[i]
 			zt := row[t]
 			if t == attackType {
 				zt++ // the attack alert joins its bin
-			}
-			if t == attackType {
 				avail := math.Floor((in.Budget - spent) / ct)
 				if avail < 0 {
 					avail = 0
 				}
-				capAlerts := math.Floor(b[t] / ct)
-				nt := math.Min(avail, math.Min(capAlerts, zt))
+				nt := math.Min(avail, math.Min(caps[i], zt))
 				if nt > 0 {
 					out += w * nt / zt
 				}
@@ -308,21 +267,21 @@ func (in *Instance) NumClasses() int { return len(in.classes) }
 // mixed policy defined by orderings Q with probabilities po and thresholds
 // b, honoring the no-attack option when the game allows it.
 func (in *Instance) BestResponse(e int, Q []Ordering, po []float64, b Thresholds) float64 {
-	return in.classBestResponse(in.entityClass[e], Q, po, b)
+	return in.classBestResponse(in.entityClass[e], po, in.PalBatch(Q, b))
 }
 
-func (in *Instance) classBestResponse(ci int, Q []Ordering, po []float64, b Thresholds) float64 {
+func (in *Instance) classBestResponse(ci int, po []float64, pals [][]float64) float64 {
 	best := math.Inf(-1)
 	if in.G.AllowNoAttack {
 		best = 0
 	}
 	for _, s := range in.classes[ci].sigs {
 		var u float64
-		for qi, o := range Q {
+		for qi, pal := range pals {
 			if po[qi] == 0 {
 				continue
 			}
-			u += po[qi] * s.ua(in.Pal(o, b))
+			u += po[qi] * s.ua(pal)
 		}
 		if u > best {
 			best = u
@@ -332,12 +291,14 @@ func (in *Instance) classBestResponse(ci int, Q []Ordering, po []float64, b Thre
 }
 
 // Loss returns the auditor's expected loss Σ_e p_e·max_v Ua under the
-// mixed policy (Q, po, b) — the objective of Eq. 4.
+// mixed policy (Q, po, b) — the objective of Eq. 4. The policy's
+// detection probabilities are evaluated as one batch.
 func (in *Instance) Loss(Q []Ordering, po []float64, b Thresholds) float64 {
+	pals := in.PalBatch(Q, b)
 	var loss float64
 	for ci := range in.classes {
 		if w := in.classes[ci].weight; w != 0 {
-			loss += w * in.classBestResponse(ci, Q, po, b)
+			loss += w * in.classBestResponse(ci, po, pals)
 		}
 	}
 	return loss

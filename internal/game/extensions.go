@@ -39,10 +39,7 @@ func (in *Instance) AuditorLoss(Q []Ordering, po []float64, b Thresholds,
 	if err := in.checkPolicy(Q, po); err != nil {
 		return 0, err
 	}
-	pals := make([][]float64, len(Q))
-	for qi, o := range Q {
-		pals[qi] = in.Pal(o, b)
-	}
+	pals := in.PalBatch(Q, b)
 	var total float64
 	for e, ent := range in.G.Entities {
 		if ent.PAttack == 0 {
@@ -113,10 +110,7 @@ func (in *Instance) QuantalLoss(Q []Ordering, po []float64, b Thresholds, cfg Qu
 	if err := in.checkPolicy(Q, po); err != nil {
 		return 0, err
 	}
-	pals := make([][]float64, len(Q))
-	for qi, o := range Q {
-		pals[qi] = in.Pal(o, b)
-	}
+	pals := in.PalBatch(Q, b)
 	var total float64
 	for e, ent := range in.G.Entities {
 		if ent.PAttack == 0 {
@@ -163,10 +157,7 @@ func (in *Instance) MultiPeriodLoss(Q []Ordering, po []float64, b Thresholds, k 
 	if err := in.checkPolicy(Q, po); err != nil {
 		return 0, err
 	}
-	pals := make([][]float64, len(Q))
-	for qi, o := range Q {
-		pals[qi] = in.Pal(o, b)
-	}
+	pals := in.PalBatch(Q, b)
 	var total float64
 	for e, ent := range in.G.Entities {
 		if ent.PAttack == 0 {

@@ -47,11 +47,9 @@ func (in *Instance) SolveFixed(Q []Ordering, b Thresholds) (*LPResult, error) {
 		}
 	}
 
-	// Pal per ordering, then Ua rows per (ordering, entity signature).
-	pals := make([][]float64, len(Q))
-	for qi, o := range Q {
-		pals[qi] = in.Pal(o, b)
-	}
+	// Pal for all orderings in one batched pass, then Ua rows per
+	// (ordering, entity signature).
+	pals := in.PalBatch(Q, b)
 
 	p := lp.NewProblem(lp.Minimize)
 	poVars := make([]lp.Var, len(Q))
@@ -127,7 +125,23 @@ func (in *Instance) SolveFixed(Q []Ordering, b Thresholds) (*LPResult, error) {
 // Partial orderings are priced too (types absent are never audited), which
 // is what the greedy CGGS oracle exploits.
 func (in *Instance) ReducedCost(res *LPResult, o Ordering, b Thresholds) float64 {
-	pal := in.Pal(o, b)
+	return in.reducedCostFromPal(res, in.Pal(o, b))
+}
+
+// ReducedCostBatch prices many candidate columns at once, evaluating all
+// their detection probabilities in a single pass over the realization
+// matrix. The CGGS greedy oracle prices every one-type extension of its
+// partial ordering per step, which is exactly this shape.
+func (in *Instance) ReducedCostBatch(res *LPResult, os []Ordering, b Thresholds) []float64 {
+	pals := in.PalBatch(os, b)
+	out := make([]float64, len(os))
+	for i, pal := range pals {
+		out[i] = in.reducedCostFromPal(res, pal)
+	}
+	return out
+}
+
+func (in *Instance) reducedCostFromPal(res *LPResult, pal []float64) float64 {
 	var priced float64
 	for ci := range in.classes {
 		for s, sig := range in.classes[ci].sigs {

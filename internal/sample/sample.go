@@ -138,6 +138,45 @@ func (e *Enumerator) rec(t int, w float64, z Realization, fn func(Realization, f
 // Size implements Source.
 func (e *Enumerator) Size() int { return e.size }
 
+// Dedup materializes a source into parallel realization/weight slices,
+// merging identical realizations by summing their weights. Rows keep
+// first-occurrence order, so the result is deterministic for a
+// deterministic source. Exact enumerators never repeat a joint point, but
+// Monte-Carlo banks over small supports repeat heavily — a 4096-draw bank
+// on a few hundred distinct joint counts collapses by an order of
+// magnitude, and every evaluation that walks the materialized matrix gets
+// proportionally cheaper.
+func Dedup(s Source) ([]Realization, []float64) {
+	rows := make([]Realization, 0, s.Size())
+	weights := make([]float64, 0, s.Size())
+	index := make(map[string]int, s.Size())
+	var keyBuf []byte
+	s.Each(func(z Realization, w float64) {
+		keyBuf = keyBuf[:0]
+		for _, zt := range z {
+			keyBuf = appendUvarint(keyBuf, uint64(zt))
+		}
+		if i, ok := index[string(keyBuf)]; ok {
+			weights[i] += w
+			return
+		}
+		index[string(keyBuf)] = len(rows)
+		rows = append(rows, append(Realization(nil), z...))
+		weights = append(weights, w)
+	})
+	return rows, weights
+}
+
+// appendUvarint appends the varint encoding of v, the per-count unit of
+// Dedup's map key.
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
 // Auto returns an exact Enumerator when the joint support fits within
 // limit, and otherwise a Bank of bankSize draws with the given seed.
 func Auto(dists []dist.Distribution, limit, bankSize int, seed int64) Source {

@@ -163,3 +163,57 @@ func TestBankRealizationsInSupportProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDedupMergesDuplicateRows(t *testing.T) {
+	b := NewBank(twoTypes(), 256, 7)
+	rows, weights := Dedup(b)
+	if len(rows) != len(weights) {
+		t.Fatalf("rows/weights length mismatch: %d vs %d", len(rows), len(weights))
+	}
+	// The two empirical types have 3×2 = 6 distinct joint points, so a
+	// 256-draw bank must collapse hard.
+	if len(rows) > 6 {
+		t.Fatalf("dedup left %d rows, want ≤ 6 distinct joint points", len(rows))
+	}
+	var total float64
+	seen := map[string]bool{}
+	for i, z := range rows {
+		key := ""
+		for _, v := range z {
+			key += string(rune('0'+v)) + ","
+		}
+		if seen[key] {
+			t.Fatalf("row %v appears twice after dedup", z)
+		}
+		seen[key] = true
+		total += weights[i]
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("deduped weights sum to %v, want 1", total)
+	}
+}
+
+func TestDedupPreservesExpectation(t *testing.T) {
+	b := NewBank(twoTypes(), 512, 3)
+	f := func(z Realization) float64 { return float64(z[0]*3 + z[1]) }
+	want := Expect(b, f)
+	rows, weights := Dedup(b)
+	var got float64
+	for i, z := range rows {
+		got += weights[i] * f(z)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("deduped expectation %v, want %v", got, want)
+	}
+}
+
+func TestDedupKeepsEnumeratorIdentity(t *testing.T) {
+	e, err := NewEnumerator(twoTypes(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := Dedup(e)
+	if len(rows) != e.Size() {
+		t.Fatalf("enumerator dedup changed row count: %d vs %d", len(rows), e.Size())
+	}
+}

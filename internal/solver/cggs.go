@@ -109,18 +109,28 @@ func CGGS(in *game.Instance, b game.Thresholds, opts CGGSOptions) (*MixedPolicy,
 		// Greedy column construction: extend a partial ordering one
 		// type at a time, each step choosing the type that minimizes
 		// the reduced cost of the partial column (equivalently,
-		// maximizes the dual-priced column π_Q·Γ′).
+		// maximizes the dual-priced column π_Q·Γ′). All extensions of
+		// a step are priced as one batch — one pass over the
+		// realization matrix instead of one per candidate type.
 		partial := make(game.Ordering, 0, nT)
 		used := make([]bool, nT)
+		cands := make([]game.Ordering, 0, nT)
+		candType := make([]int, 0, nT)
 		for len(partial) < nT {
-			bestT, bestRC := -1, math.Inf(1)
+			cands, candType = cands[:0], candType[:0]
 			for t := 0; t < nT; t++ {
 				if used[t] {
 					continue
 				}
-				rc := in.ReducedCost(res, append(partial, t), b)
+				c := append(partial[:len(partial):len(partial)], t)
+				cands = append(cands, c)
+				candType = append(candType, t)
+			}
+			rcs := in.ReducedCostBatch(res, cands, b)
+			bestT, bestRC := -1, math.Inf(1)
+			for j, rc := range rcs {
 				if rc < bestRC {
-					bestRC, bestT = rc, t
+					bestRC, bestT = rc, candType[j]
 				}
 			}
 			partial = append(partial, bestT)
@@ -133,14 +143,18 @@ func CGGS(in *game.Instance, b game.Thresholds, opts CGGSOptions) (*MixedPolicy,
 				break
 			}
 			// Ablation mode: certify optimality (or find a column the
-			// greedy oracle missed) by pricing every ordering.
-			bestRC, bestO := math.Inf(1), game.Ordering(nil)
+			// greedy oracle missed) by pricing every ordering in one
+			// batch.
+			var pool []game.Ordering
 			for _, o := range game.AllOrderings(nT) {
-				if inQ[o.Key()] {
-					continue
+				if !inQ[o.Key()] {
+					pool = append(pool, o)
 				}
-				if c := in.ReducedCost(res, o, b); c < bestRC {
-					bestRC, bestO = c, o
+			}
+			bestRC, bestO := math.Inf(1), game.Ordering(nil)
+			for j, c := range in.ReducedCostBatch(res, pool, b) {
+				if c < bestRC {
+					bestRC, bestO = c, pool[j]
 				}
 			}
 			if bestO == nil || bestRC >= -opts.Eps {

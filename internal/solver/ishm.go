@@ -85,17 +85,26 @@ func ISHM(in *game.Instance, opts ISHMOptions) (*ISHMResult, error) {
 	result := &ISHMResult{}
 	var memoMu sync.Mutex
 	memo := map[string]*MixedPolicy{}
+	// seen tracks distinct submitted vectors for UniqueEvaluations.
+	// Counting distinct keys (rather than memo misses) keeps the count
+	// deterministic under Workers > 1: two concurrent evaluations of the
+	// same vector can both miss the memo, but only the first increments
+	// the unique count.
+	seen := map[string]bool{}
 	eval := func(b game.Thresholds) (*MixedPolicy, error) {
 		key := b.Key()
 		memoMu.Lock()
 		result.Evaluations++
+		if !seen[key] {
+			seen[key] = true
+			result.UniqueEvaluations++
+		}
 		if opts.Memoize {
 			if pol, ok := memo[key]; ok {
 				memoMu.Unlock()
 				return pol, nil
 			}
 		}
-		result.UniqueEvaluations++
 		memoMu.Unlock()
 
 		pol, err := inner(in, b)

@@ -1,6 +1,8 @@
 package auditgame
 
 import (
+	"runtime"
+
 	"auditgame/internal/game"
 	"auditgame/internal/solver"
 )
@@ -48,6 +50,10 @@ type ISHMConfig struct {
 	ExactInner bool
 	// MaxSubset caps the shrink-subset size (0 = number of types).
 	MaxSubset int
+	// Workers evaluates the independent shrink candidates of each ratio
+	// level concurrently. 0 means GOMAXPROCS, 1 forces serial; results
+	// are identical at every setting.
+	Workers int
 }
 
 // ISHMResult is the outcome of an ISHM search.
@@ -61,12 +67,17 @@ func SolveISHM(in *Instance, cfg ISHMConfig) (*ISHMResult, error) {
 	if cfg.ExactInner {
 		inner = solver.ExactInner
 	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	return solver.ISHM(in, solver.ISHMOptions{
 		Epsilon:         cfg.Epsilon,
 		Inner:           inner,
 		EvaluateInitial: true,
 		Memoize:         true,
 		MaxSubset:       cfg.MaxSubset,
+		Workers:         workers,
 	})
 }
 
