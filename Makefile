@@ -26,19 +26,24 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs the detection-probability and paper-table benchmarks and
-# emits BENCH_PR2.json (ns/op, B/op, allocs/op plus custom metrics) via
-# cmd/benchjson. Pal benchmarks get enough iterations for stable ns/op;
-# the table benchmarks are single-shot because each regenerates a full
-# experiment.
+# PR names the benchmark artifact (BENCH_$(PR).json); override it when
+# cutting a new baseline, e.g. `make bench PR=PR4`.
+PR ?= PR3
+
+# bench runs the detection-probability, paper-table, and scaled-workload
+# benchmarks and emits BENCH_$(PR).json (ns/op, B/op, allocs/op plus
+# custom metrics) via cmd/benchjson. Pal benchmarks get enough
+# iterations for stable ns/op; the table and scaled benchmarks are
+# single-shot because each regenerates a full experiment.
 bench:
 	$(GO) test -run=NONE -bench='BenchmarkPal' -benchmem -benchtime=200x . > bench.out
 	$(GO) test -run=NONE -bench='BenchmarkTable' -benchmem -benchtime=1x . >> bench.out
+	$(GO) test -run=NONE -bench='BenchmarkScaledCGGS' -benchmem -benchtime=1x . >> bench.out
 	@cat bench.out
-	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR2.json.tmp
-	mv BENCH_PR2.json.tmp BENCH_PR2.json
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_$(PR).json.tmp
+	mv BENCH_$(PR).json.tmp BENCH_$(PR).json
 	@rm -f bench.out
-	@echo "wrote BENCH_PR2.json"
+	@echo "wrote BENCH_$(PR).json"
 
 # benchfull runs every benchmark in the repo briefly.
 benchfull:

@@ -9,6 +9,7 @@
 package auditgame_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -153,6 +154,36 @@ func BenchmarkFig2(b *testing.B) {
 		loss = f.Series[0].Values[1]
 	}
 	b.ReportMetric(loss, "loss@B250")
+}
+
+// BenchmarkScaledCGGS sweeps the alert-type count on the parametric
+// scaled workload (2000 entities, Bank-only estimation) and reports the
+// column-generation work accounting per sweep point: columns generated,
+// cumulative simplex pivots, and uncached Pal evaluations. The sweep is
+// how we locate where CGGS saturates — columns grow roughly linearly in
+// |T|, but each greedy column prices |T|² partial extensions and each
+// extension walks the realization matrix, so Pal evaluation work grows
+// roughly cubically while the master LPs add a superlinear pivot term
+// on top.
+func BenchmarkScaledCGGS(b *testing.B) {
+	for _, nT := range []int{8, 16, 32, 48} {
+		b.Run(fmt.Sprintf("types%d", nT), func(b *testing.B) {
+			var last *auditgame.ScaledResult
+			for i := 0; i < b.N; i++ {
+				r, err := auditgame.ScaledCGGS(auditgame.ScaledConfig{
+					Workload: auditgame.ScaledWorkload{Entities: 2000, AlertTypes: nT, Seed: 1},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(float64(last.Stats.Columns), "columns")
+			b.ReportMetric(float64(last.Stats.Pivots), "pivots")
+			b.ReportMetric(float64(last.Stats.PalEvals), "pal-evals")
+			b.ReportMetric(last.Loss, "loss")
+		})
+	}
 }
 
 // --- Ablations -----------------------------------------------------------

@@ -54,6 +54,12 @@ func main() {
 	case "fig2":
 		err = runFigure(args, "Figure 2: auditor loss on the credit workload (Rea B)",
 			auditgame.PaperBudgetsFig2, auditgame.Fig2)
+	case "fig":
+		err = runFigWorkload(args)
+	case "workloads":
+		runWorkloads()
+	case "scaled":
+		err = runScaled(args)
 	case "sens":
 		err = runSensitivity(args)
 	case "quantal":
@@ -93,6 +99,9 @@ commands:
   table7   threshold-vector exploration counts and T/T' vectors
   fig1     loss-vs-budget curves on the EMR workload
   fig2     loss-vs-budget curves on the credit workload
+  fig      loss-vs-budget curves on any registered workload (-workload name)
+  workloads list the registered workloads
+  scaled   build a scaled workload and solve it end-to-end with CGGS
   sens     robustness sweep over penalty × attack probability
   quantal  policy quality against boundedly rational adversaries
   drift    stale-vs-refit policy under workload drift
@@ -249,6 +258,84 @@ func runFigure(args []string, title string, defBudgets []float64,
 		return err
 	}
 	auditgame.PrintFigure(os.Stdout, title, fig)
+	return nil
+}
+
+// runWorkloads lists the registry.
+func runWorkloads() {
+	fmt.Println("registered workloads:")
+	for _, name := range auditgame.Workloads() {
+		w, _ := auditgame.GetWorkload(name)
+		fmt.Printf("  %-8s %s\n", name, w.Description())
+	}
+}
+
+// runFigWorkload runs the figure experiment on any registered workload.
+func runFigWorkload(args []string) error {
+	fs := flag.NewFlagSet("auditsim fig", flag.ContinueOnError)
+	name := fs.String("workload", "emr", "registered workload name")
+	budgetStr := fs.String("budgets", "", "comma-separated budget sweep")
+	seed := fs.Int64("seed", 1, "experiment seed")
+	quick := fs.Bool("quick", false, "reduced sweeps for a fast run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	budgets := auditgame.PaperBudgetsFig1
+	if *name == "credit" {
+		budgets = auditgame.PaperBudgetsFig2
+	}
+	if *budgetStr != "" {
+		var err error
+		if budgets, err = parseFloats(*budgetStr); err != nil {
+			return err
+		}
+	}
+	opts := auditgame.FigOptions{Seed: *seed}
+	if *quick {
+		opts.Epsilons = []float64{0.2}
+		opts.RandomThresholdDraws = 5
+		opts.BankSize = 200
+		opts.MaxSubset = 2
+	}
+	fig, err := auditgame.FigWorkload(*name, budgets, opts)
+	if err != nil {
+		return err
+	}
+	auditgame.PrintFigure(os.Stdout, "Loss vs budget on the "+*name+" workload", fig)
+	return nil
+}
+
+// runScaled builds a parametric scaled game and solves it end-to-end
+// with CGGS on a Monte-Carlo bank, printing the bottleneck accounting.
+func runScaled(args []string) error {
+	fs := flag.NewFlagSet("auditsim scaled", flag.ContinueOnError)
+	entities := fs.Int("entities", 2000, "number of potential adversaries")
+	types := fs.Int("types", 32, "number of alert types")
+	victims := fs.Int("victims", 0, "number of victims (0 = default)")
+	profiles := fs.Int("profiles", 0, "behavioral profiles (0 = default)")
+	days := fs.Int("days", 0, "fit counts empirically from this many simulated days (0 = parametric)")
+	seed := fs.Int64("seed", 1, "generator seed")
+	bank := fs.Int("bank", 0, "sample bank size (0 = default)")
+	frac := fs.Float64("budget-frac", 0, "budget as a fraction of the expected full audit cost (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := auditgame.ScaledCGGS(auditgame.ScaledConfig{
+		Workload: auditgame.ScaledWorkload{
+			Entities:   *entities,
+			AlertTypes: *types,
+			Victims:    *victims,
+			Profiles:   *profiles,
+			Days:       *days,
+			Seed:       *seed,
+		},
+		BudgetFraction: *frac,
+		BankSize:       *bank,
+	})
+	if err != nil {
+		return err
+	}
+	auditgame.PrintScaled(os.Stdout, res)
 	return nil
 }
 

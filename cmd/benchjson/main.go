@@ -1,9 +1,9 @@
 // Command benchjson converts `go test -bench` text output on stdin into a
 // JSON array on stdout, one object per benchmark result. Standard metrics
 // (ns/op, B/op, allocs/op) become fields; custom b.ReportMetric units land
-// in a "metrics" map. The Makefile's bench target pipes the Pal/Table
-// benchmarks through it to produce BENCH_PR2.json, so perf regressions
-// diff as data rather than prose.
+// in a "metrics" map. The Makefile's bench target pipes the Pal/Table/
+// Scaled benchmarks through it to produce BENCH_$(PR).json, so perf
+// regressions diff as data rather than prose.
 package main
 
 import (

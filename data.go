@@ -4,7 +4,48 @@ import (
 	"auditgame/internal/credit"
 	"auditgame/internal/emr"
 	"auditgame/internal/tdmt"
+	"auditgame/internal/workload"
 )
+
+// Workload registry re-exports: every scenario — the paper's three plus
+// the parametric scaled generator — is constructed through one
+// interface, keyed by name.
+type (
+	// Workload generates audit games for one named scenario.
+	Workload = workload.Workload
+	// WorkloadScale is the size request handed to a workload: entity /
+	// alert-type / victim counts, simulated days, and the seed. The
+	// zero value asks for the scenario's published defaults.
+	WorkloadScale = workload.Scale
+	// ScaledWorkload is the parametric generator behind the "scaled"
+	// registry entry: games with thousands of entities and dozens of
+	// alert types stamped from composable distribution-spec templates.
+	ScaledWorkload = workload.Scaled
+	// TypeTemplate is one alert-type archetype of the scaled generator.
+	TypeTemplate = workload.TypeTemplate
+)
+
+// Workloads returns the registered workload names, sorted. The
+// built-ins are "credit", "emr", "scaled", and "syna".
+func Workloads() []string { return workload.Names() }
+
+// GetWorkload returns the workload registered under name.
+func GetWorkload(name string) (Workload, bool) { return workload.Get(name) }
+
+// RegisterWorkload adds a custom workload to the registry; it panics on
+// a duplicate name.
+func RegisterWorkload(w Workload) { workload.Register(w) }
+
+// BuildWorkload builds the named workload at the given scale, returning
+// the game and the threshold seed vector (the per-type caps every
+// threshold search starts from).
+func BuildWorkload(name string, s WorkloadScale) (*Game, Thresholds, error) {
+	return workload.Build(name, s)
+}
+
+// DefaultTypeTemplates returns the scaled generator's built-in
+// alert-type archetypes.
+func DefaultTypeTemplates() []TypeTemplate { return workload.DefaultTemplates() }
 
 // TDMT substrate re-exports: the rule engine and alert log a deployment
 // feeds the game from.

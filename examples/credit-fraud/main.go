@@ -1,7 +1,8 @@
-// Credit-fraud audit scenario (the paper's Rea B): synthesize the
-// 1000-application population, fit the five Table IX alert types, build
-// the 100-applicant × 8-purpose audit game, and sweep the budget to find
-// the deterrence point where the auditor's loss reaches zero.
+// Credit-fraud audit scenario (the paper's Rea B): build the
+// 100-applicant × 8-purpose audit game through the workload registry —
+// which synthesizes the 1000-application population and fits the five
+// Table IX alert types — and sweep the budget to find the deterrence
+// point where the auditor's loss reaches zero.
 //
 //	go run ./examples/credit-fraud
 package main
@@ -14,20 +15,14 @@ import (
 )
 
 func main() {
-	fmt.Println("synthesizing credit-application workload...")
-	ds, err := auditgame.SimulateCredit(auditgame.CreditConfig{Seed: 7})
+	fmt.Println("building the credit workload (synthesizes the application population)...")
+	g, _, err := auditgame.BuildWorkload("credit", auditgame.WorkloadScale{Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}
-	for t := 0; t < ds.Log.NumTypes(); t++ {
-		mean, std := ds.Log.TypeStats(t)
-		fmt.Printf("  type %d (%-42s) per-period count %6.1f ± %.1f\n",
-			t+1, ds.Engine.TypeName(t), mean, std)
-	}
-
-	g, err := auditgame.BuildCreditGame(ds, auditgame.CreditGameConfig{Seed: 8})
-	if err != nil {
-		log.Fatal(err)
+	for t, at := range g.Types {
+		fmt.Printf("  type %d (%-42s) fitted per-period count mean %6.1f\n",
+			t+1, at.Name, at.Dist.Mean())
 	}
 	fmt.Printf("\ngame: %d applicants × %d purposes, %d alert types\n",
 		len(g.Entities), len(g.Victims), len(g.Types))

@@ -1,7 +1,8 @@
-// EMR audit scenario (the paper's Rea A): simulate a month of hospital
-// access logs, fit the alert workload, build the 50×50 employee-patient
-// audit game, and compare the game-theoretic policy against the naive
-// baselines at a realistic budget.
+// EMR audit scenario (the paper's Rea A): build the 50×50
+// employee-patient audit game through the workload registry — which
+// simulates a month of hospital access logs and fits the alert workload
+// behind the scenes — and compare the game-theoretic policy against the
+// naive baselines at a realistic budget.
 //
 //	go run ./examples/emr-audit
 package main
@@ -15,21 +16,14 @@ import (
 )
 
 func main() {
-	fmt.Println("simulating 28 days of EMR access traffic...")
-	ds, err := auditgame.SimulateEMR(auditgame.EMRConfig{Seed: 42})
+	fmt.Println("building the EMR workload (simulates 28 days of access traffic)...")
+	g, _, err := auditgame.BuildWorkload("emr", auditgame.WorkloadScale{Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  %d alerts logged, %d benign accesses\n", ds.Log.Len(), ds.Benign)
-	for t := 0; t < ds.Log.NumTypes(); t++ {
-		mean, std := ds.Log.TypeStats(t)
-		fmt.Printf("  type %d (%-36s) daily count %6.1f ± %.1f\n",
-			t+1, ds.Engine.TypeName(t), mean, std)
-	}
-
-	g, err := auditgame.BuildEMRGame(ds, auditgame.EMRGameConfig{Seed: 43})
-	if err != nil {
-		log.Fatal(err)
+	for t, at := range g.Types {
+		fmt.Printf("  type %d (%-36s) fitted daily count mean %6.1f\n",
+			t+1, at.Name, at.Dist.Mean())
 	}
 	fmt.Printf("\ngame: %d employees × %d patients, %d alert types\n",
 		len(g.Entities), len(g.Victims), len(g.Types))

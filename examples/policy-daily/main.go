@@ -16,8 +16,12 @@ import (
 )
 
 func main() {
-	// Offline: solve the synthetic game and package the policy.
-	g := auditgame.SynA()
+	// Offline: look the scenario up in the workload registry, solve the
+	// game, and package the policy.
+	g, _, err := auditgame.BuildWorkload("syna", auditgame.WorkloadScale{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	const budget = 10.0
 	in, err := auditgame.NewInstance(g, budget, auditgame.SourceOptions{Seed: 1})
 	if err != nil {

@@ -63,4 +63,9 @@ func main() {
 	if err := pol.Save(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+
+	// Prefab scenarios — the paper's three datasets and a parametric
+	// scaled generator — are one registry lookup away; see the other
+	// examples for full tours.
+	fmt.Printf("\nbuilt-in workloads (auditgame.BuildWorkload): %v\n", auditgame.Workloads())
 }

@@ -34,6 +34,10 @@ type (
 	ValidationRow = exp.ValidationRow
 	// ValidateConfig tunes the replay validation.
 	ValidateConfig = exp.ValidateConfig
+	// ScaledConfig parameterizes one scaled end-to-end evaluation.
+	ScaledConfig = exp.ScaledConfig
+	// ScaledResult is one scaled CGGS run with its work accounting.
+	ScaledResult = exp.ScaledResult
 )
 
 // Paper parameter sweeps.
@@ -94,6 +98,19 @@ func WorkloadShift(budget float64, scales []float64) ([]WorkloadShiftRow, error)
 // alert type.
 func Validate(cfg ValidateConfig) ([]ValidationRow, error) { return exp.Validate(cfg) }
 
+// FigWorkload runs the figure experiment (proposed model vs baselines
+// over a budget sweep) on any registered workload; "emr" and "credit"
+// reproduce Figures 1 and 2.
+func FigWorkload(name string, budgets []float64, opts FigOptions) (*FigureResult, error) {
+	return exp.FigWorkload(name, budgets, opts)
+}
+
+// ScaledCGGS builds a scaled workload, prepares a Monte-Carlo-bank
+// instance (exact enumeration is infeasible at dozens of alert types),
+// and solves it end-to-end with column generation, reporting columns,
+// master solves, simplex pivots, and Pal evaluations.
+func ScaledCGGS(cfg ScaledConfig) (*ScaledResult, error) { return exp.ScaledCGGS(cfg) }
+
 // Printers matching the paper's presentation.
 
 // PrintTable3 renders Table III rows.
@@ -131,3 +148,6 @@ func PrintValidation(w io.Writer, cfg ValidateConfig, rows []ValidationRow) {
 
 // PrintSynA renders the Syn A setup (paper Table II).
 func PrintSynA(w io.Writer) { exp.PrintSynA(w) }
+
+// PrintScaled renders one scaled end-to-end run.
+func PrintScaled(w io.Writer, r *ScaledResult) { exp.PrintScaled(w, r) }

@@ -187,6 +187,48 @@ func TestWorkloadBuildersViaFacade(t *testing.T) {
 	}
 }
 
+func TestWorkloadRegistryViaFacade(t *testing.T) {
+	names := Workloads()
+	if len(names) < 4 {
+		t.Fatalf("registry lists %v", names)
+	}
+	if _, ok := GetWorkload("scaled"); !ok {
+		t.Fatal("scaled workload missing from registry")
+	}
+	g, seed, err := BuildWorkload("syna", WorkloadScale{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTypes() != 4 || len(seed) != 4 {
+		t.Fatalf("syna build wrong shape: %d types, %d seed entries", g.NumTypes(), len(seed))
+	}
+	sg, _, err := BuildWorkload("scaled", WorkloadScale{Entities: 60, AlertTypes: 10, Victims: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sg.Entities) != 60 || sg.NumTypes() != 10 || len(sg.Victims) != 6 {
+		t.Fatalf("scaled build wrong shape: %d entities, %d types, %d victims",
+			len(sg.Entities), sg.NumTypes(), len(sg.Victims))
+	}
+	in, err := NewInstance(sg, 20, SourceOptions{BankSize: 64, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := SolveCGGS(in, seedThresholds(sg), CGGSConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pol.Po) != len(pol.Q) {
+		t.Fatal("malformed policy")
+	}
+}
+
+// seedThresholds rebuilds the caps vector for a game (what BuildWorkload
+// returns as the threshold seed).
+func seedThresholds(g *Game) Thresholds {
+	return g.ThresholdCaps()
+}
+
 func TestBruteForceFacadeTiny(t *testing.T) {
 	// A 2-type game small enough to brute force instantly.
 	g := &Game{

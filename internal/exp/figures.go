@@ -5,12 +5,11 @@ import (
 	"io"
 	"runtime"
 
-	"auditgame/internal/credit"
-	"auditgame/internal/emr"
 	"auditgame/internal/game"
 	"auditgame/internal/metrics"
 	"auditgame/internal/sample"
 	"auditgame/internal/solver"
+	"auditgame/internal/workload"
 )
 
 // PaperBudgetsFig1 is the Rea A budget sweep (Figure 1).
@@ -70,26 +69,21 @@ func (o FigOptions) withDefaults() FigOptions {
 // workload for the proposed model at three ε values and the three
 // baselines.
 func Fig1(budgets []float64, opt FigOptions) (*FigureResult, error) {
-	opt = opt.withDefaults()
-	ds, err := emr.Simulate(emr.Config{Seed: opt.Seed})
-	if err != nil {
-		return nil, err
-	}
-	g, err := emr.BuildGame(ds, emr.GameConfig{Seed: opt.Seed + 1})
-	if err != nil {
-		return nil, err
-	}
-	return figure(g, budgets, opt)
+	return FigWorkload("emr", budgets, opt)
 }
 
 // Fig2 reproduces Figure 2: the same comparison on the credit workload.
 func Fig2(budgets []float64, opt FigOptions) (*FigureResult, error) {
+	return FigWorkload("credit", budgets, opt)
+}
+
+// FigWorkload runs the figure experiment — proposed model at each ε
+// against the three baselines over a budget sweep — on any registered
+// workload. The game is built at the workload's default scale with
+// opt.Seed; "emr" and "credit" reproduce Figures 1 and 2 exactly.
+func FigWorkload(name string, budgets []float64, opt FigOptions) (*FigureResult, error) {
 	opt = opt.withDefaults()
-	ds, err := credit.Simulate(credit.Config{Seed: opt.Seed})
-	if err != nil {
-		return nil, err
-	}
-	g, err := credit.BuildGame(ds, credit.GameConfig{Seed: opt.Seed + 1})
+	g, _, err := workload.Build(name, workload.Scale{Seed: opt.Seed})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"auditgame/internal/game"
+	"auditgame/internal/sample"
+	"auditgame/internal/solver"
+	"auditgame/internal/workload"
+)
+
+// This file is the scaled-workload evaluation path: build a parametric
+// game far beyond the paper's sizes, estimate detection probabilities
+// from a Monte-Carlo sample bank (exact joint enumeration is hopeless at
+// dozens of alert types — the joint support is the product of the
+// per-type supports), and solve the fixed-threshold game end-to-end with
+// column generation, reporting the solver-work accounting that locates
+// the CGGS bottleneck.
+
+// ScaledConfig parameterizes one scaled end-to-end run.
+type ScaledConfig struct {
+	// Workload is the parametric generator; its zero value builds the
+	// scaled defaults (1000 entities, 16 types).
+	Workload workload.Scaled
+	// BudgetFraction sets the audit budget as a fraction of the
+	// expected full audit cost Σ_t E[Z_t]·C_t. Zero means 0.1 — enough
+	// budget to audit a tenth of an average period, the chronically
+	// under-resourced regime the game is about.
+	BudgetFraction float64
+	// BankSize is the common-random-number sample bank size. Zero
+	// means 512.
+	BankSize int
+	// BankSeed seeds the bank. Zero means Workload seed + 1.
+	BankSeed int64
+}
+
+func (c ScaledConfig) withDefaults() ScaledConfig {
+	if c.BudgetFraction == 0 {
+		c.BudgetFraction = 0.1
+	}
+	if c.BankSize == 0 {
+		c.BankSize = 512
+	}
+	if c.BankSeed == 0 {
+		c.BankSeed = c.Workload.Seed + 1
+	}
+	return c
+}
+
+// ScaledResult is one scaled CGGS run: the game's effective size after
+// the instance-level reductions, the solved loss, and the solver-work
+// accounting.
+type ScaledResult struct {
+	// Entities, AlertTypes, Victims are the built game's dimensions.
+	Entities, AlertTypes, Victims int
+	// Classes is the number of entity equivalence classes the LP
+	// actually optimizes over; Realizations is the deduplicated sample
+	// bank size the Pal kernel iterates.
+	Classes, Realizations int
+	// Budget is the resolved audit budget.
+	Budget float64
+	// Loss is the auditor's expected loss of the CGGS policy, and
+	// Thresholds the seed vector it was solved at.
+	Loss       float64
+	Thresholds game.Thresholds
+	// Stats is the column-generation work accounting.
+	Stats solver.CGGSStats
+}
+
+// ScaledCGGS builds the scaled workload, prepares a Bank-only instance,
+// and solves it end-to-end with CGGS at the workload's threshold seed.
+func ScaledCGGS(cfg ScaledConfig) (*ScaledResult, error) {
+	cfg = cfg.withDefaults()
+	g, caps, err := cfg.Workload.Build(workload.Scale{})
+	if err != nil {
+		return nil, err
+	}
+
+	var fullCost float64
+	for _, at := range g.Types {
+		fullCost += at.Dist.Mean() * at.Cost
+	}
+	budget := cfg.BudgetFraction * fullCost
+
+	bank := sample.NewBank(g.Dists(), cfg.BankSize, cfg.BankSeed)
+	in, err := game.NewInstance(g, budget, bank)
+	if err != nil {
+		return nil, err
+	}
+
+	pol, stats, err := solver.CGGSWithStats(in, caps, solver.CGGSOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("exp: scaled CGGS (%d types): %w", g.NumTypes(), err)
+	}
+	return &ScaledResult{
+		Entities:     len(g.Entities),
+		AlertTypes:   g.NumTypes(),
+		Victims:      len(g.Victims),
+		Classes:      in.NumClasses(),
+		Realizations: in.NumRealizations(),
+		Budget:       budget,
+		Loss:         pol.Objective,
+		Thresholds:   pol.Thresholds,
+		Stats:        stats,
+	}, nil
+}
+
+// PrintScaled renders one scaled run.
+func PrintScaled(w io.Writer, r *ScaledResult) {
+	fmt.Fprintf(w, "Scaled workload: %d entities x %d victims, %d alert types\n",
+		r.Entities, r.Victims, r.AlertTypes)
+	fmt.Fprintf(w, "  instance: %d entity classes, %d bank realizations, budget %.1f\n",
+		r.Classes, r.Realizations, r.Budget)
+	fmt.Fprintf(w, "  CGGS:     loss %.4f, %d columns, %d master solves, %d pivots, %d Pal evals\n",
+		r.Loss, r.Stats.Columns, r.Stats.MasterSolves, r.Stats.Pivots, r.Stats.PalEvals)
+}

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"auditgame/internal/workload"
+)
+
+// TestScaledEndToEnd is the acceptance path: a game far beyond the
+// paper's sizes — 2000 entities, 32 alert types — builds and solves
+// end-to-end through the Bank-only CGGS pipeline.
+func TestScaledEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled end-to-end solve takes ~1s; skipped with -short")
+	}
+	r, err := ScaledCGGS(ScaledConfig{
+		Workload: workload.Scaled{Entities: 2000, AlertTypes: 32, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Entities != 2000 || r.AlertTypes != 32 {
+		t.Fatalf("solved wrong game: %d entities, %d types", r.Entities, r.AlertTypes)
+	}
+	if r.Classes <= 0 || r.Classes >= 100 {
+		t.Fatalf("entity-class reduction did not engage: %d classes", r.Classes)
+	}
+	if r.Loss <= 0 {
+		t.Fatalf("loss %v; adversaries with positive benefits must inflict positive loss", r.Loss)
+	}
+	if r.Stats.Columns < 2 {
+		t.Fatalf("column generation generated no columns: %+v", r.Stats)
+	}
+	if r.Stats.Pivots <= 0 || r.Stats.PalEvals <= 0 || r.Stats.MasterSolves != r.Stats.Columns {
+		t.Fatalf("implausible work accounting: %+v", r.Stats)
+	}
+
+	var buf bytes.Buffer
+	PrintScaled(&buf, r)
+	if !strings.Contains(buf.String(), "CGGS") || !strings.Contains(buf.String(), "32 alert types") {
+		t.Fatalf("printer output malformed:\n%s", buf.String())
+	}
+}
+
+// TestScaledDeterministicAccounting: the whole pipeline (generator, bank,
+// CGGS) is seeded, so repeat runs must agree to the last pivot.
+func TestScaledDeterministicAccounting(t *testing.T) {
+	run := func() *ScaledResult {
+		r, err := ScaledCGGS(ScaledConfig{
+			Workload: workload.Scaled{Entities: 400, AlertTypes: 12, Seed: 4},
+			BankSize: 128,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Loss != b.Loss || a.Stats != b.Stats || a.Classes != b.Classes {
+		t.Fatalf("repeat runs disagree:\n%+v\n%+v", a, b)
+	}
+}

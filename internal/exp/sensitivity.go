@@ -8,6 +8,7 @@ import (
 	"auditgame/internal/game"
 	"auditgame/internal/sample"
 	"auditgame/internal/solver"
+	"auditgame/internal/workload"
 )
 
 // The paper's §VII flags two open questions this file answers
@@ -65,7 +66,10 @@ func (c SensitivityConfig) withDefaults() SensitivityConfig {
 // synAVariant builds Syn A with the capture penalty and attack
 // probability overridden.
 func synAVariant(penalty, pAttack float64) *game.Game {
-	g := game.SynA()
+	g, _, err := workload.Build("syna", workload.Scale{})
+	if err != nil {
+		panic("exp: syna workload cannot fail to build: " + err.Error())
+	}
 	for e := range g.Entities {
 		g.Entities[e].PAttack = pAttack
 	}
@@ -211,7 +215,10 @@ func WorkloadShift(budget float64, scales []float64) ([]WorkloadShiftRow, error)
 	hws := []int{5, 4, 3, 3}
 	rows := make([]WorkloadShiftRow, 0, len(scales))
 	for _, s := range scales {
-		g := game.SynA()
+		g, _, err := workload.Build("syna", workload.Scale{})
+		if err != nil {
+			return nil, err
+		}
 		for t := range g.Types {
 			g.Types[t].Dist = dist.NewGaussianHalfWidth(means[t]*s, stds[t], hws[t])
 		}

@@ -11,6 +11,7 @@ package exp
 import (
 	"auditgame/internal/game"
 	"auditgame/internal/sample"
+	"auditgame/internal/workload"
 )
 
 // PaperBudgetsSynA is the budget sweep of Tables III–VII.
@@ -24,7 +25,10 @@ var PaperEpsilons = []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.
 // truncation) fits the enumeration limit, so expectations are exact —
 // matching the paper's brute-force comparison setting.
 func SynAInstance(budget float64) (*game.Instance, error) {
-	g := game.SynA()
+	g, _, err := workload.Build("syna", workload.Scale{})
+	if err != nil {
+		return nil, err
+	}
 	src, err := sample.NewEnumerator(g.Dists(), sample.DefaultEnumerationLimit)
 	if err != nil {
 		return nil, err

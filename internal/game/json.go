@@ -55,7 +55,9 @@ func DecodeJSON(r io.Reader) (*Game, error) {
 
 	g := &Game{AllowNoAttack: raw.AllowNoAttack, Victims: raw.Victims}
 	for i, t := range raw.Types {
-		d, err := t.Dist.Build()
+		// Shared interns tables by canonical spec, so types repeating a
+		// distribution spec share one PMF/CDF table.
+		d, err := dist.Shared(t.Dist)
 		if err != nil {
 			return nil, fmt.Errorf("game: type %d (%s): %w", i, t.Name, err)
 		}

@@ -51,6 +51,21 @@ func (in *Instance) SolveFixed(Q []Ordering, b Thresholds) (*LPResult, error) {
 	// (ordering, entity signature).
 	pals := in.PalBatch(Q, b)
 
+	// Normalize the objective weights to sum 1 for the solve. The class
+	// weights grow with the entity count (Σ p_e over thousands of
+	// entities), and an objective orders of magnitude above the O(1)
+	// constraint scale drowns the simplex's absolute tolerances in
+	// round-off on large games. The LP is solved in the normalized scale
+	// and the objective and duals are scaled back before returning, so
+	// callers see the true loss.
+	var weightScale float64
+	for _, cl := range in.classes {
+		weightScale += cl.weight
+	}
+	if weightScale <= 0 {
+		weightScale = 1
+	}
+
 	p := lp.NewProblem(lp.Minimize)
 	poVars := make([]lp.Var, len(Q))
 	for qi := range Q {
@@ -58,7 +73,7 @@ func (in *Instance) SolveFixed(Q []Ordering, b Thresholds) (*LPResult, error) {
 	}
 	ueVars := make([]lp.Var, len(in.classes))
 	for ci, cl := range in.classes {
-		ueVars[ci] = p.AddVar(fmt.Sprintf("u_%d", ci), lp.Free, cl.weight)
+		ueVars[ci] = p.AddVar(fmt.Sprintf("u_%d", ci), lp.Free, cl.weight/weightScale)
 	}
 
 	rowCons := make([][]lp.Constr, len(in.classes))
@@ -94,11 +109,11 @@ func (in *Instance) SolveFixed(Q []Ordering, b Thresholds) (*LPResult, error) {
 	}
 
 	res := &LPResult{
-		Objective:   sol.Objective,
+		Objective:   sol.Objective * weightScale,
 		Po:          make([]float64, len(Q)),
 		Ue:          make([]float64, len(in.G.Entities)),
 		RowDuals:    make([][]float64, len(in.classes)),
-		SimplexDual: sol.Dual[sumCon],
+		SimplexDual: sol.Dual[sumCon] * weightScale,
 		Iterations:  sol.Iterations,
 	}
 	for qi := range Q {
@@ -114,7 +129,7 @@ func (in *Instance) SolveFixed(Q []Ordering, b Thresholds) (*LPResult, error) {
 	for ci := range in.classes {
 		res.RowDuals[ci] = make([]float64, len(rowCons[ci]))
 		for s, c := range rowCons[ci] {
-			res.RowDuals[ci][s] = sol.Dual[c]
+			res.RowDuals[ci][s] = sol.Dual[c] * weightScale
 		}
 	}
 	return res, nil

@@ -1,6 +1,10 @@
 package game
 
-import "auditgame/internal/dist"
+import (
+	"strconv"
+
+	"auditgame/internal/dist"
+)
 
 // synAMatrix is Table IIb: the alert type (1-based, 0 = benign) triggered
 // when employee e accesses record r.
@@ -58,6 +62,6 @@ func SynA() *Game {
 	return g
 }
 
-func typeName(t int) string     { return "Type " + string(rune('1'+t)) }
-func employeeName(e int) string { return "e" + string(rune('1'+e)) }
-func recordName(r int) string   { return "r" + string(rune('1'+r)) }
+func typeName(t int) string     { return "Type " + strconv.Itoa(t+1) }
+func employeeName(e int) string { return "e" + strconv.Itoa(e+1) }
+func recordName(r int) string   { return "r" + strconv.Itoa(r+1) }

@@ -22,15 +22,17 @@ type simplexResult struct {
 // costs encode the duals: for artificial j of row i with zero cost,
 // y_i = −c̄_j.
 type tableau struct {
-	m, n  int            // rows, structural columns
-	a     *matrix.Matrix // m×(n+m) current tableau body
-	b     matrix.Vector  // current rhs (basic variable values)
-	c     matrix.Vector  // length n+m: current phase objective coefficients
-	cbar  matrix.Vector  // reduced costs, length n+m
-	z     float64        // current objective value (of the phase objective)
-	basis []int          // basis[i] = column basic in row i
-	inb   []bool         // inb[j] = column j is basic
-	eps   float64
+	m, n    int            // rows, structural columns
+	a       *matrix.Matrix // m×(n+m) current tableau body
+	b       matrix.Vector  // current rhs (basic variable values)
+	c       matrix.Vector  // length n+m: current phase objective coefficients
+	cbar    matrix.Vector  // reduced costs, length n+m
+	z       float64        // current objective value (of the phase objective)
+	basis   []int          // basis[i] = column basic in row i
+	inb     []bool         // inb[j] = column j is basic
+	ties    []int          // scratch for the ratio test's tied rows
+	blocked []bool         // columns numerically unusable at this basis
+	eps     float64
 }
 
 func (s *standard) simplex(o Options) *simplexResult {
@@ -43,11 +45,25 @@ func (s *standard) simplex(o Options) *simplexResult {
 		inb:   make([]bool, s.n+s.m),
 		eps:   o.Eps,
 	}
+	// Crash basis: a row whose slack carries a +1 coefficient is feasible
+	// with that slack basic (b ≥ 0 by construction), so only equality and
+	// sign-flipped rows start on artificials. The basis matrix is still
+	// the identity, and the artificial columns are installed for every
+	// row regardless — the dual extraction below reads them. Starting
+	// from slacks instead of a full artificial basis keeps phase 1 to the
+	// handful of rows that genuinely need repair, which both speeds it up
+	// and avoids the long degenerate pivot chains on rhs-0 rows that let
+	// tableau round-off accumulate.
 	for i := 0; i < s.m; i++ {
 		copy(t.a.Row(i)[:s.n], s.a.Row(i))
 		t.a.Set(i, s.n+i, 1) // artificial
-		t.basis[i] = s.n + i
-		t.inb[s.n+i] = true
+		if j := s.crashCol[i]; j >= 0 {
+			t.basis[i] = j
+			t.inb[j] = true
+		} else {
+			t.basis[i] = s.n + i
+			t.inb[s.n+i] = true
+		}
 	}
 
 	res := &simplexResult{}
@@ -64,7 +80,12 @@ func (s *standard) simplex(o Options) *simplexResult {
 		res.status = IterationLimit
 		return res
 	}
-	if t.z > sqrtEps(t.eps) {
+	// Test feasibility on the recomputed artificial mass, not the
+	// incrementally updated t.z: after thousands of (mostly degenerate)
+	// pivots on large column-generation masters, t.z carries accumulated
+	// floating-point drift that can exceed the tolerance on a feasible
+	// problem. The basic values themselves are the authoritative state.
+	if t.artificialMass() > sqrtEps(t.eps) {
 		res.status = Infeasible
 		return res
 	}
@@ -85,11 +106,20 @@ func (s *standard) simplex(o Options) *simplexResult {
 	}
 
 	res.status = Optimal
-	res.obj = t.z
 	res.x = matrix.NewVector(s.n)
 	for i, bj := range t.basis {
 		if bj >= 0 && bj < s.n {
 			res.x[bj] = t.b[i]
+		}
+	}
+	// Report the objective recomputed from the basic values, not the
+	// incrementally updated t.z — the same drift the phase-1 feasibility
+	// test guards against (artificial phase-2 costs are zero, so basic
+	// structural columns are the only contributors).
+	res.obj = 0
+	for i, bj := range t.basis {
+		if bj >= 0 && bj < s.n {
+			res.obj += phase2[bj] * t.b[i]
 		}
 	}
 	// Duals from artificial reduced costs: c̄_{n+i} = c_{n+i} − y_i and
@@ -102,6 +132,18 @@ func (s *standard) simplex(o Options) *simplexResult {
 }
 
 func sqrtEps(eps float64) float64 { return math.Sqrt(eps) }
+
+// artificialMass sums the current values of basic artificial variables —
+// the exact phase-1 objective at the current vertex.
+func (t *tableau) artificialMass() float64 {
+	var sum float64
+	for i, bj := range t.basis {
+		if bj >= t.n {
+			sum += t.b[i]
+		}
+	}
+	return sum
+}
 
 // setObjective installs phase costs c and recomputes reduced costs and z
 // from the current basis by pricing: c̄ = c − c_Bᵀ·(tableau rows), where the
@@ -133,16 +175,30 @@ func (t *tableau) setObjective(c matrix.Vector) {
 	}
 }
 
+// pivotTol is the smallest tableau entry accepted as a pivot element.
+// Pivoting divides the row by the pivot, so an entry near the noise
+// floor amplifies the whole tableau by its reciprocal; a few such
+// pivots compound into overflow-scale garbage on large degenerate
+// masters. Rows whose entry in the entering column is below this
+// threshold are ineligible to leave — excluding them costs at most
+// O(pivotTol) infeasibility, because the same tiny entry is the
+// coefficient by which their basic value changes.
+const pivotTol = 1e-7
+
 // iterate runs primal simplex pivots until optimality, unboundedness, or
 // the iteration cap. phase1 bars nothing; in phase 2 artificial columns may
 // not enter. It starts with Dantzig pricing and falls back to Bland's rule
-// after stalling (no objective improvement) for a window of pivots, which
-// guarantees termination on degenerate problems.
+// after stalling (no objective improvement) for a window of pivots; the
+// lexicographic ratio test in chooseLeaving is what guarantees
+// termination on degenerate problems.
 func (t *tableau) iterate(o Options, phase1 bool) (Status, int) {
 	bland := o.Bland
 	stall := 0
 	const stallWindow = 64
 	lastZ := t.z
+	if cap(t.blocked) < t.n+t.m {
+		t.blocked = make([]bool, t.n+t.m)
+	}
 
 	for iter := 0; iter < o.MaxIter; iter++ {
 		enter := t.chooseEntering(bland, phase1)
@@ -151,9 +207,21 @@ func (t *tableau) iterate(o Options, phase1 bool) (Status, int) {
 		}
 		leave := t.chooseLeaving(enter)
 		if leave < 0 {
-			return Unbounded, iter
+			// No eligible pivot element. If the column is non-positive
+			// the problem is genuinely unbounded along it; if it has
+			// positive entries below pivotTol, the column is numerically
+			// unusable at this basis — block it from pricing and move
+			// on rather than divide by noise.
+			if t.maxColumnEntry(enter) <= 0 {
+				return Unbounded, iter
+			}
+			t.blocked[enter] = true
+			continue
 		}
 		t.pivot(leave, enter)
+		for j := range t.blocked {
+			t.blocked[j] = false // new basis, new numerics
+		}
 
 		if t.z < lastZ-t.eps {
 			lastZ = t.z
@@ -169,6 +237,18 @@ func (t *tableau) iterate(o Options, phase1 bool) (Status, int) {
 	return IterationLimit, o.MaxIter
 }
 
+// maxColumnEntry returns the largest coefficient of column j over all
+// rows.
+func (t *tableau) maxColumnEntry(j int) float64 {
+	best := math.Inf(-1)
+	for i := 0; i < t.m; i++ {
+		if a := t.a.At(i, j); a > best {
+			best = a
+		}
+	}
+	return best
+}
+
 // chooseEntering returns the entering column, or -1 at optimality.
 func (t *tableau) chooseEntering(bland, phase1 bool) int {
 	limit := t.n + t.m
@@ -177,7 +257,7 @@ func (t *tableau) chooseEntering(bland, phase1 bool) int {
 	}
 	if bland {
 		for j := 0; j < limit; j++ {
-			if !t.inb[j] && t.cbar[j] < -t.eps {
+			if !t.inb[j] && !t.blocked[j] && t.cbar[j] < -t.eps {
 				return j
 			}
 		}
@@ -185,31 +265,73 @@ func (t *tableau) chooseEntering(bland, phase1 bool) int {
 	}
 	best, at := -t.eps, -1
 	for j := 0; j < limit; j++ {
-		if !t.inb[j] && t.cbar[j] < best {
+		if !t.inb[j] && !t.blocked[j] && t.cbar[j] < best {
 			best, at = t.cbar[j], j
 		}
 	}
 	return at
 }
 
-// chooseLeaving performs the minimum ratio test on column enter, breaking
-// ties by smallest basis index (a Bland-compatible tie-break). Returns the
+// chooseLeaving performs the minimum ratio test on column enter,
+// resolving ties lexicographically. The lexicographic rule — among the
+// min-ratio rows pick the one whose B⁻¹ row scaled by the pivot element
+// is lexicographically smallest — makes every pivot strictly
+// lex-decrease the objective row, which rules out cycling for any
+// entering rule (Dantzig included). The basis starts at the identity,
+// so all rows begin lex-positive as the rule requires. Plain
+// smallest-index tie-breaking is not enough here: large degenerate
+// column-generation masters (hundreds of rhs-0 best-response rows)
+// cycle through zero-ratio pivots indefinitely under it. Returns the
 // pivot row, or -1 if the column is unbounded.
 func (t *tableau) chooseLeaving(enter int) int {
 	bestRatio := math.Inf(1)
-	row := -1
+	t.ties = t.ties[:0]
 	for i := 0; i < t.m; i++ {
 		aie := t.a.At(i, enter)
-		if aie <= t.eps {
+		if aie <= pivotTol {
 			continue
 		}
 		ratio := t.b[i] / aie
-		if ratio < bestRatio-t.eps || (ratio < bestRatio+t.eps && (row < 0 || t.basis[i] < t.basis[row])) {
+		switch {
+		case ratio < bestRatio-t.eps:
 			bestRatio = ratio
+			t.ties = append(t.ties[:0], i)
+		case ratio < bestRatio+t.eps:
+			t.ties = append(t.ties, i)
+			if ratio < bestRatio {
+				bestRatio = ratio
+			}
+		}
+	}
+	if len(t.ties) == 0 {
+		return -1
+	}
+	row := t.ties[0]
+	for _, i := range t.ties[1:] {
+		if t.lexLess(i, row, enter) {
 			row = i
 		}
 	}
 	return row
+}
+
+// lexLess reports whether row i strictly precedes row r in the
+// lexicographic order used by the ratio test: comparing the rows of the
+// artificial block (which carries B⁻¹) scaled by their entries in the
+// entering column. Comparisons are exact — the order only needs to be
+// total and consistent, and noise-level differences still break the
+// degenerate ties that cause cycling.
+func (t *tableau) lexLess(i, r, enter int) bool {
+	si := 1 / t.a.At(i, enter)
+	sr := 1 / t.a.At(r, enter)
+	for j := t.n; j < t.n+t.m; j++ {
+		vi := t.a.At(i, j) * si
+		vr := t.a.At(r, j) * sr
+		if vi != vr {
+			return vi < vr
+		}
+	}
+	return false
 }
 
 // pivot makes column enter basic in row r.

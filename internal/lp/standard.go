@@ -18,6 +18,11 @@ type standard struct {
 	// free variables negCol holds the negative-part column, else -1.
 	colOfVar []int
 	negCol   []int
+	// crashCol[i] is the slack/surplus column of row i when it carries a
+	// +1 coefficient after sign normalization (and can therefore serve as
+	// the row's initial basic variable), else -1. Equality rows and rows
+	// whose slack ended up at −1 still need an artificial.
+	crashCol []int
 	// rowFlip records rows whose sign was flipped to make b ≥ 0, which
 	// negates the reported dual.
 	rowFlip []bool
@@ -42,6 +47,7 @@ func (p *Problem) toStandard() *standard {
 		m:        len(p.cons),
 		colOfVar: make([]int, len(p.vars)),
 		negCol:   make([]int, len(p.vars)),
+		crashCol: make([]int, len(p.cons)),
 		rowFlip:  make([]bool, len(p.cons)),
 		objFlip:  p.sense == Maximize,
 	}
@@ -109,6 +115,10 @@ func (p *Problem) toStandard() *standard {
 			s.rowFlip[i] = true
 			s.b[i] = -s.b[i]
 			row.Scale(-1)
+		}
+		s.crashCol[i] = -1
+		if slackCol[i] >= 0 && row[slackCol[i]] == 1 {
+			s.crashCol[i] = slackCol[i]
 		}
 	}
 	return s

@@ -78,12 +78,39 @@ func (o CGGSOptions) withDefaults(numTypes int) CGGSOptions {
 	return o
 }
 
+// CGGSStats is the work accounting of one column-generation solve —
+// the quantities the scaled-workload benchmarks sweep to locate where
+// column generation saturates.
+type CGGSStats struct {
+	// Columns is the size of the final ordering pool (including the
+	// warm-start column).
+	Columns int
+	// MasterSolves counts restricted master LP solves.
+	MasterSolves int
+	// Pivots is the cumulative simplex pivot count across all master
+	// solves.
+	Pivots int
+	// PalEvals is the increase in the instance's uncached
+	// detection-probability evaluations over the solve. On an instance
+	// shared with concurrent solvers this attributes their evaluations
+	// too; benchmarks use a fresh instance per solve.
+	PalEvals int
+}
+
 // CGGS solves the fixed-threshold LP by column generation (Algorithm 1).
 // Starting from a single ordering it alternates between solving the
 // restricted master LP and greedily constructing a new ordering that
 // minimizes reduced cost, appending one alert type at a time; it stops
 // when the greedy column no longer prices negatively.
 func CGGS(in *game.Instance, b game.Thresholds, opts CGGSOptions) (*MixedPolicy, error) {
+	pol, _, err := CGGSWithStats(in, b, opts)
+	return pol, err
+}
+
+// CGGSWithStats is CGGS with the solve's work accounting.
+func CGGSWithStats(in *game.Instance, b game.Thresholds, opts CGGSOptions) (*MixedPolicy, CGGSStats, error) {
+	var stats CGGSStats
+	palEvals0 := in.PalEvals()
 	nT := in.G.NumTypes()
 	opts = opts.withDefaults(nT)
 
@@ -92,7 +119,7 @@ func CGGS(in *game.Instance, b game.Thresholds, opts CGGSOptions) (*MixedPolicy,
 		initial = BenefitOrdering(in.G)
 	}
 	if !initial.ValidPermutation(nT) {
-		return nil, fmt.Errorf("solver: initial ordering %v is not a permutation of %d types", initial, nT)
+		return nil, stats, fmt.Errorf("solver: initial ordering %v is not a permutation of %d types", initial, nT)
 	}
 
 	Q := []game.Ordering{initial.Clone()}
@@ -103,8 +130,10 @@ func CGGS(in *game.Instance, b game.Thresholds, opts CGGSOptions) (*MixedPolicy,
 		var err error
 		res, err = in.SolveFixed(Q, b)
 		if err != nil {
-			return nil, err
+			return nil, stats, err
 		}
+		stats.MasterSolves++
+		stats.Pivots += res.Iterations
 
 		// Greedy column construction: extend a partial ordering one
 		// type at a time, each step choosing the type that minimizes
@@ -166,7 +195,9 @@ func CGGS(in *game.Instance, b game.Thresholds, opts CGGSOptions) (*MixedPolicy,
 		inQ[partial.Key()] = true
 	}
 
-	return &MixedPolicy{Q: Q, Po: res.Po, Thresholds: b.Clone(), Objective: res.Objective}, nil
+	stats.Columns = len(Q)
+	stats.PalEvals = in.PalEvals() - palEvals0
+	return &MixedPolicy{Q: Q, Po: res.Po, Thresholds: b.Clone(), Objective: res.Objective}, stats, nil
 }
 
 // Exact solves the fixed-threshold LP over every ordering of the alert

@@ -111,6 +111,37 @@ func TestCGGSProbabilitiesFormDistribution(t *testing.T) {
 	}
 }
 
+func TestCGGSWithStatsAccounting(t *testing.T) {
+	in := testInstance(t, 3)
+	b := game.Thresholds{2, 3, 2}
+	pol, stats, err := CGGSWithStats(in, b, CGGSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Columns != len(pol.Q) {
+		t.Fatalf("stats report %d columns, policy has %d", stats.Columns, len(pol.Q))
+	}
+	// One master solve per pool size, from 1 column up to the final set.
+	if stats.MasterSolves != stats.Columns {
+		t.Fatalf("%d master solves for %d columns", stats.MasterSolves, stats.Columns)
+	}
+	if stats.Pivots <= 0 {
+		t.Fatalf("pivots = %d", stats.Pivots)
+	}
+	if stats.PalEvals <= 0 {
+		t.Fatalf("pal evals = %d", stats.PalEvals)
+	}
+	// The plain CGGS wrapper must agree with the stats variant.
+	in2 := testInstance(t, 3)
+	pol2, err := CGGS(in2, b, CGGSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol2.Objective != pol.Objective {
+		t.Fatalf("CGGS and CGGSWithStats disagree: %v vs %v", pol2.Objective, pol.Objective)
+	}
+}
+
 func TestCGGSInitialOrderingValidation(t *testing.T) {
 	in := testInstance(t, 3)
 	_, err := CGGS(in, game.Thresholds{2, 2, 2}, CGGSOptions{Initial: game.Ordering{0, 0, 1}})

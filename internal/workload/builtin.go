@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+
+	"auditgame/internal/credit"
+	"auditgame/internal/emr"
+	"auditgame/internal/game"
+)
+
+// The paper's three scenarios, registered as workloads. Each wrapper
+// maps Scale knobs onto the scenario's own config structs and keeps the
+// exact construction sequence (simulator seed, game seed = simulator
+// seed + 1) the experiment harness has always used, so routing the exp
+// layer through the registry changes no experimental output.
+
+func init() {
+	Register(synA{})
+	Register(emrWorkload{})
+	Register(creditWorkload{})
+	Register(Scaled{})
+}
+
+// rejectFixed errors when a Scale override targets a knob the scenario
+// cannot vary.
+func rejectFixed(workload, knob string, got, fixed int) error {
+	if got != 0 && got != fixed {
+		return fmt.Errorf("workload: %s has a fixed %s count of %d, cannot build %d", workload, knob, fixed, got)
+	}
+	return nil
+}
+
+// synA is the controlled synthetic dataset of paper §IV (Table II). Its
+// shape is fully specified by the paper, so every Scale knob except
+// Seed (which it has no use for — the construction is deterministic) is
+// fixed.
+type synA struct{}
+
+func (synA) Name() string { return "syna" }
+func (synA) Description() string {
+	return "paper Table II controlled dataset: 5 employees, 8 records, 4 alert types, exact enumeration"
+}
+
+func (synA) Build(s Scale) (*game.Game, game.Thresholds, error) {
+	if err := rejectFixed("syna", "entity", s.Entities, 5); err != nil {
+		return nil, nil, err
+	}
+	if err := rejectFixed("syna", "alert-type", s.AlertTypes, 4); err != nil {
+		return nil, nil, err
+	}
+	if err := rejectFixed("syna", "victim", s.Victims, 8); err != nil {
+		return nil, nil, err
+	}
+	g := game.SynA()
+	return g, g.ThresholdCaps(), nil
+}
+
+// emrWorkload is the Rea A scenario: the synthetic hospital access log
+// simulator plus the employee×patient attack-matrix sampler.
+type emrWorkload struct{}
+
+func (emrWorkload) Name() string { return "emr" }
+func (emrWorkload) Description() string {
+	return "Rea A hospital EMR scenario: simulated access log, 7 Table VIII alert types, sampled employee x patient game"
+}
+
+func (emrWorkload) Build(s Scale) (*game.Game, game.Thresholds, error) {
+	if err := rejectFixed("emr", "alert-type", s.AlertTypes, 7); err != nil {
+		return nil, nil, err
+	}
+	ds, err := emr.Simulate(emr.Config{Days: s.Days, Seed: s.Seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := emr.BuildGame(ds, emr.GameConfig{
+		Employees: s.Entities,
+		Patients:  s.Victims,
+		Seed:      s.Seed + 1,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, g.ThresholdCaps(), nil
+}
+
+// creditWorkload is the Rea B scenario: the 1000-application credit
+// population with Table IX alert rates and the applicant×purpose game.
+type creditWorkload struct{}
+
+func (creditWorkload) Name() string { return "credit" }
+func (creditWorkload) Description() string {
+	return "Rea B credit-application scenario: Table IX alert rules, bootstrap periods, applicant x purpose game"
+}
+
+func (creditWorkload) Build(s Scale) (*game.Game, game.Thresholds, error) {
+	if err := rejectFixed("credit", "alert-type", s.AlertTypes, 5); err != nil {
+		return nil, nil, err
+	}
+	if err := rejectFixed("credit", "victim", s.Victims, len(credit.Purposes)); err != nil {
+		return nil, nil, err
+	}
+	ds, err := credit.Simulate(credit.Config{Periods: s.Days, Seed: s.Seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := credit.BuildGame(ds, credit.GameConfig{
+		Applicants: s.Entities,
+		Seed:       s.Seed + 1,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, g.ThresholdCaps(), nil
+}

@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"auditgame/internal/dist"
+	"auditgame/internal/game"
+)
+
+// TypeTemplate is one alert-type archetype of the scaled generator.
+// Stamping many concrete alert types out of a small template set is
+// what makes large games cheap: repeated types share one interned
+// PMF/CDF table (dist.Shared) and their attacks collapse into few
+// distinct signatures, so the LP sees entity classes rather than raw
+// entities.
+type TypeTemplate struct {
+	// Name labels stamped types ("<Name> #<i>").
+	Name string
+	// Spec is the benign per-period count model.
+	Spec dist.Spec
+	// AuditCost is C_t for types stamped from this template.
+	AuditCost float64
+	// Benefit is the adversary's gain R for attacks raising this type.
+	Benefit float64
+}
+
+// DefaultTemplates returns the eight built-in alert-type archetypes:
+// count models spanning the regimes of the paper's scenarios (heavy
+// Gaussian daily volumes like Table VIII, low-rate Poisson alerts,
+// near-deterministic compliance checks) with benefits and audit costs
+// in the published ranges.
+func DefaultTemplates() []TypeTemplate {
+	return []TypeTemplate{
+		{"bulk-access", dist.Spec{Kind: "gaussian", Mean: 180, Std: 45, Coverage: 0.995}, 1, 10},
+		{"coworker", dist.Spec{Kind: "gaussian", Mean: 32, Std: 23, Coverage: 0.995}, 1, 12},
+		{"neighbor", dist.Spec{Kind: "gaussian", Mean: 114, Std: 80, Coverage: 0.995}, 1, 12},
+		{"family", dist.Spec{Kind: "gaussian", Mean: 24, Std: 11, Coverage: 0.995}, 1, 25},
+		{"household", dist.Spec{Kind: "gaussian", Mean: 20, Std: 11, Coverage: 0.995}, 1, 27},
+		{"rare-combo", dist.Spec{Kind: "poisson", Lambda: 5, Coverage: 0.999}, 2, 18},
+		{"after-hours", dist.Spec{Kind: "poisson", Lambda: 12, Coverage: 0.999}, 1, 15},
+		{"bad-standing", dist.Spec{Kind: "gaussian", Mean: 8, Std: 3, Coverage: 0.995}, 2, 20},
+	}
+}
+
+// Scaled is the parametric workload generator: it synthesizes an audit
+// game with the requested numbers of entities, alert types, and victims
+// from a template set. The construction is layered so that size is
+// decoupled from hardness:
+//
+//   - Alert types are stamped from Templates round-robin, so a 48-type
+//     game carries only len(Templates) distinct count distributions
+//     (shared via dist.Shared) — mirroring real deployments, where
+//     dozens of rules share a few behavioral regimes.
+//   - Entities are assigned round-robin to a small set of behavioral
+//     profiles; every entity of a profile shares its attack row, so the
+//     instance's entity-class reduction collapses thousands of entities
+//     into |Profiles| LP classes. Game size scales to "every customer
+//     of the bank" while the LP sees only the distinct behaviors.
+//
+// What does NOT collapse is the ordering space: |T|! grows with
+// AlertTypes, which is exactly the column-generation stress the scaled
+// benchmark sweeps.
+//
+// The zero value builds the defaults (1000 entities, 16 types, 16
+// victims, 16 profiles, parametric counts, seed 0). Scaled implements
+// Workload and registers as "scaled"; it can also be used directly:
+//
+//	g, caps, err := workload.Scaled{Entities: 2000, AlertTypes: 32}.Build(workload.Scale{})
+type Scaled struct {
+	// Entities, AlertTypes, Victims size the game. Zero means 1000,
+	// 16, and 16.
+	Entities, AlertTypes, Victims int
+	// Profiles is the number of distinct behavioral profiles entities
+	// are stamped from. Zero means min(16, Entities).
+	Profiles int
+	// Days, when positive, fits each template's count distribution
+	// empirically from Days seeded draws of its Spec — the same
+	// fit-from-log shape as the EMR/credit scenarios — instead of using
+	// the parametric Spec directly. The fit is per template, not per
+	// type, so repeated types still share one table.
+	Days int
+	// Seed drives profile construction and the Days-fit draws.
+	Seed int64
+	// Templates is the alert-type archetype set. Nil means
+	// DefaultTemplates().
+	Templates []TypeTemplate
+	// Penalty and AttackCost are the adversary's capture loss M and
+	// attack cost K. Zero means 15 and 1 (the Rea A economics).
+	Penalty, AttackCost float64
+}
+
+func (s Scaled) Name() string { return "scaled" }
+func (s Scaled) Description() string {
+	return "parametric generator: thousands of entities / dozens of alert types stamped from dist.Spec templates"
+}
+
+// withScale merges non-zero Scale overrides into the struct's own
+// fields and applies defaults.
+func (s Scaled) withScale(sc Scale) Scaled {
+	if sc.Entities != 0 {
+		s.Entities = sc.Entities
+	}
+	if sc.AlertTypes != 0 {
+		s.AlertTypes = sc.AlertTypes
+	}
+	if sc.Victims != 0 {
+		s.Victims = sc.Victims
+	}
+	if sc.Days != 0 {
+		s.Days = sc.Days
+	}
+	if sc.Seed != 0 {
+		s.Seed = sc.Seed
+	}
+	if s.Entities == 0 {
+		s.Entities = 1000
+	}
+	if s.AlertTypes == 0 {
+		s.AlertTypes = 16
+	}
+	if s.Victims == 0 {
+		s.Victims = 16
+	}
+	if s.Profiles == 0 {
+		s.Profiles = 16
+	}
+	if s.Profiles > s.Entities {
+		s.Profiles = s.Entities
+	}
+	if s.Templates == nil {
+		s.Templates = DefaultTemplates()
+	}
+	if s.Penalty == 0 {
+		s.Penalty = 15
+	}
+	if s.AttackCost == 0 {
+		s.AttackCost = 1
+	}
+	return s
+}
+
+// Build implements Workload.
+func (s Scaled) Build(sc Scale) (*game.Game, game.Thresholds, error) {
+	s = s.withScale(sc)
+	if s.Entities < 1 || s.AlertTypes < 1 || s.Victims < 1 || s.Profiles < 1 {
+		return nil, nil, fmt.Errorf("workload: scaled needs positive sizes, got %d entities, %d types, %d victims, %d profiles",
+			s.Entities, s.AlertTypes, s.Victims, s.Profiles)
+	}
+	if len(s.Templates) == 0 {
+		return nil, nil, fmt.Errorf("workload: scaled needs at least one type template")
+	}
+	if s.Days < 0 {
+		return nil, nil, fmt.Errorf("workload: scaled Days %d must be non-negative", s.Days)
+	}
+
+	// Per-template count distributions, resolved once so every type
+	// stamped from a template shares the same table: parametric specs go
+	// through the dist.Shared intern (their universe is the template
+	// set), while Days-fitted empirical distributions are built here and
+	// shared locally, keeping the global intern map free of unbounded
+	// observation-list keys.
+	tmplDists := make([]dist.Distribution, len(s.Templates))
+	for ti, tm := range s.Templates {
+		var d dist.Distribution
+		var err error
+		if s.Days > 0 {
+			d, err = fitEmpirical(tm.Spec, s.Days, s.Seed+int64(ti)*1_000_003)
+		} else {
+			d, err = dist.Shared(tm.Spec)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload: scaled template %q: %w", tm.Name, err)
+		}
+		tmplDists[ti] = d
+	}
+
+	g := &game.Game{AllowNoAttack: true}
+	benefit := make([]float64, s.AlertTypes)
+	for t := 0; t < s.AlertTypes; t++ {
+		tm := s.Templates[t%len(s.Templates)]
+		g.Types = append(g.Types, game.AlertType{
+			Name: tm.Name + " #" + strconv.Itoa(t+1),
+			Cost: tm.AuditCost,
+			Dist: tmplDists[t%len(s.Templates)],
+		})
+		benefit[t] = tm.Benefit
+	}
+	for v := 0; v < s.Victims; v++ {
+		g.Victims = append(g.Victims, "v"+strconv.Itoa(v+1))
+	}
+
+	// Behavioral profiles: one attack row over the victims plus an
+	// attack probability, drawn once from the seeded stream. Roughly a
+	// quarter of each profile's accesses are benign.
+	r := rand.New(rand.NewSource(s.Seed))
+	type profile struct {
+		row     []game.Attack
+		pAttack float64
+	}
+	profiles := make([]profile, s.Profiles)
+	for p := range profiles {
+		row := make([]game.Attack, s.Victims)
+		for v := range row {
+			t := -1
+			if r.Intn(4) != 0 {
+				t = r.Intn(s.AlertTypes)
+			}
+			ben := 0.0
+			if t >= 0 {
+				ben = benefit[t]
+			}
+			row[v] = game.DeterministicAttack(s.AlertTypes, t, ben, s.Penalty, s.AttackCost)
+		}
+		profiles[p] = profile{row: row, pAttack: 0.2 + 0.8*r.Float64()}
+	}
+
+	g.Attacks = make([][]game.Attack, s.Entities)
+	for e := 0; e < s.Entities; e++ {
+		p := profiles[e%s.Profiles]
+		g.Entities = append(g.Entities, game.Entity{
+			Name:    "e" + strconv.Itoa(e+1),
+			PAttack: p.pAttack,
+		})
+		// Entities of one profile share the row slice itself: the game
+		// is read-only after construction, and sharing keeps the attack
+		// matrix O(Profiles·Victims) instead of O(Entities·Victims).
+		g.Attacks[e] = p.row
+	}
+
+	if err := g.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("workload: scaled built an invalid game: %v", err)
+	}
+	return g, g.ThresholdCaps(), nil
+}
+
+// fitEmpirical draws days observations from the template spec and fits
+// their empirical distribution — the scaled analogue of fitting F_t
+// from an audit log.
+func fitEmpirical(spec dist.Spec, days int, seed int64) (dist.Distribution, error) {
+	d, err := dist.Shared(spec)
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	counts := make([]int, days)
+	for i := range counts {
+		counts[i] = d.Sample(r)
+	}
+	return dist.Spec{Kind: "empirical", Counts: counts}.Build()
+}

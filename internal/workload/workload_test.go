@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"auditgame/internal/credit"
+	"auditgame/internal/emr"
+	"auditgame/internal/game"
+	"auditgame/internal/sample"
+)
+
+// TestRegistryRoundTrip builds every registered workload at its default
+// scale and checks the structural contract: a valid game plus a
+// threshold seed of the right shape.
+func TestRegistryRoundTrip(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"syna", "emr", "credit", "scaled"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("registry is missing %q: %v", want, names)
+		}
+	}
+	for _, name := range names {
+		w, ok := Get(name)
+		if !ok {
+			t.Fatalf("Names lists %q but Get fails", name)
+		}
+		if w.Name() != name {
+			t.Fatalf("workload %q reports name %q", name, w.Name())
+		}
+		if w.Description() == "" {
+			t.Fatalf("workload %q has no description", name)
+		}
+		g, seed, err := Build(name, Scale{Seed: 1})
+		if err != nil {
+			t.Fatalf("Build(%q): %v", name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Build(%q) returned an invalid game: %v", name, err)
+		}
+		if len(seed) != g.NumTypes() {
+			t.Fatalf("Build(%q) threshold seed has %d entries, want %d", name, len(seed), g.NumTypes())
+		}
+		if !reflect.DeepEqual([]float64(seed), g.ThresholdCaps()) {
+			t.Fatalf("Build(%q) threshold seed != ThresholdCaps", name)
+		}
+	}
+}
+
+func TestBuildUnknownName(t *testing.T) {
+	if _, _, err := Build("no-such-workload", Scale{}); err == nil {
+		t.Fatal("Build of unknown workload succeeded")
+	}
+}
+
+// TestFixedKnobRejection checks that the paper scenarios reject scale
+// overrides they cannot honor instead of silently ignoring them.
+func TestFixedKnobRejection(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Scale
+	}{
+		{"syna", Scale{Entities: 9}},
+		{"syna", Scale{AlertTypes: 7}},
+		{"syna", Scale{Victims: 3}},
+		{"emr", Scale{AlertTypes: 4}},
+		{"credit", Scale{AlertTypes: 9}},
+		{"credit", Scale{Victims: 2}},
+	}
+	for _, tc := range cases {
+		if _, _, err := Build(tc.name, tc.s); err == nil {
+			t.Errorf("Build(%q, %+v) accepted an unsupported override", tc.name, tc.s)
+		} else if !strings.Contains(err.Error(), "fixed") {
+			t.Errorf("Build(%q, %+v) error %q does not explain the fixed knob", tc.name, tc.s, err)
+		}
+	}
+}
+
+// TestScaledRejectsBadSizes: invalid size knobs must surface as errors,
+// not panics.
+func TestScaledRejectsBadSizes(t *testing.T) {
+	for _, s := range []Scaled{
+		{Profiles: -1},
+		{Entities: -3},
+		{Days: -1},
+		{Templates: []TypeTemplate{}}, // withScale only defaults a nil set
+	} {
+		if _, _, err := s.Build(Scale{}); err == nil {
+			t.Errorf("Scaled%+v.Build accepted invalid configuration", s)
+		}
+	}
+}
+
+// TestScaledDeterminism: the same seed must produce an identical game —
+// the contract the common-random-number evaluation machinery and the
+// benchmark sweeps rely on.
+func TestScaledDeterminism(t *testing.T) {
+	build := func(seed int64) *game.Game {
+		g, _, err := Scaled{Entities: 300, AlertTypes: 24, Seed: seed}.Build(Scale{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	g1, g2 := build(7), build(7)
+	if !reflect.DeepEqual(g1, g2) {
+		t.Fatal("same seed built different games")
+	}
+	g3 := build(8)
+	if reflect.DeepEqual(g1.Attacks, g3.Attacks) && reflect.DeepEqual(g1.Entities, g3.Entities) {
+		t.Fatal("different seeds built identical games")
+	}
+}
+
+// TestScaledShape checks the Scale override plumbing and the sharing
+// guarantees: repeated types from one template share the interned
+// distribution table, and entities of one profile share the attack row.
+func TestScaledShape(t *testing.T) {
+	g, seed, err := Build("scaled", Scale{Entities: 123, AlertTypes: 19, Victims: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Entities) != 123 || g.NumTypes() != 19 || len(g.Victims) != 5 {
+		t.Fatalf("built %d entities, %d types, %d victims", len(g.Entities), g.NumTypes(), len(g.Victims))
+	}
+	if len(seed) != 19 {
+		t.Fatalf("threshold seed has %d entries", len(seed))
+	}
+	// Types 0 and 8 come from the same template (8 default templates),
+	// so interning must hand both the same table.
+	nTmpl := len(DefaultTemplates())
+	if g.Types[0].Dist != g.Types[nTmpl].Dist {
+		t.Fatal("repeated template types do not share the interned distribution")
+	}
+	if g.Types[0].Dist == g.Types[1].Dist {
+		t.Fatal("distinct templates share a distribution")
+	}
+	// Profile sharing: entity 0 and entity 0+Profiles share the row.
+	if &g.Attacks[0][0] != &g.Attacks[16][0] {
+		t.Fatal("entities of one profile do not share the attack row")
+	}
+}
+
+// TestScaledDaysEmpirical: Days > 0 switches to empirically fitted
+// count distributions, still shared per template.
+func TestScaledDaysEmpirical(t *testing.T) {
+	g, _, err := Scaled{Entities: 40, AlertTypes: 16, Days: 30, Seed: 3}.Build(Scale{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nTmpl := len(DefaultTemplates())
+	if g.Types[0].Dist != g.Types[nTmpl].Dist {
+		t.Fatal("fitted template types do not share the interned distribution")
+	}
+	// The fit must stay in the template's regime (bulk-access mean 180).
+	if m := g.Types[0].Dist.Mean(); m < 100 || m > 260 {
+		t.Fatalf("fitted mean %v far from the template's 180", m)
+	}
+}
+
+// quickLoss evaluates a fixed single-ordering policy at the threshold
+// caps — a cheap, deterministic fingerprint of a game.
+func quickLoss(t *testing.T, g *game.Game) float64 {
+	t.Helper()
+	src := sample.Auto(g.Dists(), sample.DefaultEnumerationLimit, 64, 9)
+	in, err := game.NewInstance(g, 10, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := make(game.Ordering, g.NumTypes())
+	for i := range o {
+		o[i] = i
+	}
+	return in.Loss([]game.Ordering{o}, []float64{1}, g.ThresholdCaps())
+}
+
+// TestGoldenAgainstBespoke pins the registry wrappers to the
+// pre-refactor constructions: the same seeds must yield byte-identical
+// games and identical losses.
+func TestGoldenAgainstBespoke(t *testing.T) {
+	// Syn A is deterministic.
+	gw, _, err := Build("syna", Scale{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gw, game.SynA()) {
+		t.Fatal("registry syna differs from game.SynA()")
+	}
+
+	// EMR: simulator seed s, game seed s+1 — the sequence the exp layer
+	// has always used.
+	ds, err := emr.Simulate(emr.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := emr.BuildGame(ds, emr.GameConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, _, err = Build("emr", Scale{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gw, gb) {
+		t.Fatal("registry emr differs from the bespoke construction")
+	}
+	if lw, lb := quickLoss(t, gw), quickLoss(t, gb); lw != lb {
+		t.Fatalf("emr loss mismatch: %v vs %v", lw, lb)
+	}
+
+	// Credit: same seed convention.
+	cds, err := credit.Simulate(credit.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cgb, err := credit.BuildGame(cds, credit.GameConfig{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cgw, _, err := Build("credit", Scale{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cgw, cgb) {
+		t.Fatal("registry credit differs from the bespoke construction")
+	}
+	if lw, lb := quickLoss(t, cgw), quickLoss(t, cgb); lw != lb {
+		t.Fatalf("credit loss mismatch: %v vs %v", lw, lb)
+	}
+}
