@@ -11,13 +11,21 @@
 // the game yields an audit policy that makes the best use of a limited
 // budget against adversaries who know the policy.
 //
-// The typical flow:
+// The typical flow is a deployment session: bind a workload, budget,
+// and solver once, then solve (cancellable), select daily, and
+// hot-reload at will:
 //
-//	g := auditgame.SynA()                          // or build your own Game
-//	in, _ := auditgame.NewInstance(g, 10, auditgame.SourceOptions{})
-//	res, _ := auditgame.SolveISHM(in, auditgame.ISHMConfig{Epsilon: 0.1})
-//	pol := auditgame.PolicyFrom(g, 10, res.Policy) // deployable artifact
+//	a, _ := auditgame.NewAuditor(auditgame.AuditorConfig{
+//		Workload: "syna", Budget: 10,
+//		ISHM: auditgame.ISHMConfig{Epsilon: 0.1},
+//	})
+//	pol, _ := a.Solve(ctx)         // deployable artifact, installed
 //	pol.Save(os.Stdout)
+//	sel, _ := a.Select(counts)     // each period; safe for concurrent use
+//
+// `auditsim serve` puts the same session behind HTTP. The free
+// functions (SolveISHM, SolveCGGS, ...) remain as deprecated wrappers
+// for batch experiments.
 //
 // Everything — the simplex LP solver, column generation, the ISHM
 // threshold search, the TDMT rule engine, and the workload simulators —

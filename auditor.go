@@ -1,0 +1,459 @@
+package auditgame
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"auditgame/internal/solver"
+)
+
+// SolveMethod selects which algorithm an Auditor runs.
+type SolveMethod string
+
+const (
+	// MethodISHM searches thresholds with the Iterative Shrink Heuristic
+	// Method (Algorithm 2), solving the inner LP per AuditorConfig.ISHM.
+	// This is the default: it is the paper's end-to-end method.
+	MethodISHM SolveMethod = "ishm"
+	// MethodCGGS solves the fixed-threshold LP by column generation
+	// (Algorithm 1) at the configured thresholds.
+	MethodCGGS SolveMethod = "cggs"
+	// MethodExact solves the fixed-threshold LP over every ordering.
+	// Exponential in the number of alert types; refuses more than 8.
+	MethodExact SolveMethod = "exact"
+	// MethodBruteForce exhaustively searches the integer threshold grid,
+	// solving the ordering LP exactly at every point. Ground truth for
+	// small games only (≤ 6 types).
+	MethodBruteForce SolveMethod = "brute"
+)
+
+// AuditorConfig binds everything an audit deployment fixes up front —
+// the workload, the budget, and the solver — so the session object can
+// expose a small lifecycle API (Solve / Policy / Select / ReloadPolicy)
+// on top.
+//
+// Exactly one of Workload, Game, or Instance picks the game:
+//
+//   - Workload + Scale request a registered scenario by name, the way
+//     deployments should bind (any registered scenario is deployable);
+//   - Game supplies an explicitly constructed *Game;
+//   - Instance binds a prebuilt evaluation instance, keeping its budget
+//     and realization source (this is the path the deprecated free
+//     functions use).
+//
+// All three may be empty for a policy-only session that serves a
+// pre-solved artifact via ReloadPolicy/Select and never solves.
+type AuditorConfig struct {
+	// Workload is a workload-registry name (see Workloads()); Scale is
+	// its size request, zero for the scenario's published defaults.
+	Workload string
+	Scale    WorkloadScale
+	// Game supplies an explicit game instead of a registry lookup.
+	Game *Game
+	// Instance binds a prebuilt evaluation instance; its budget and
+	// realization source are kept and Budget/BudgetFraction/Source are
+	// ignored.
+	Instance *Instance
+
+	// Budget is the per-period audit budget B. When zero,
+	// BudgetFraction sets it as a fraction of the expected full audit
+	// cost Σ_t E[Z_t]·C_t; when both are zero, Solve reports an error
+	// (Select on a reloaded policy still works — the policy artifact
+	// carries its own budget).
+	Budget         float64
+	BudgetFraction float64
+
+	// Thresholds seeds the fixed-threshold methods (MethodCGGS,
+	// MethodExact); nil means the workload's threshold seed — the
+	// per-type full-coverage caps. MethodISHM and MethodBruteForce
+	// search thresholds themselves and ignore this.
+	Thresholds Thresholds
+
+	// Source selects how expectations over alert-count realizations are
+	// computed when the instance is built here (Workload or Game
+	// binding).
+	Source SourceOptions
+
+	// Method picks the solver; empty means MethodISHM.
+	Method SolveMethod
+	// ISHM tunes MethodISHM (a zero Epsilon defaults to 0.1).
+	ISHM ISHMConfig
+	// CGGS tunes MethodCGGS and ISHM's column-generation inner solves.
+	CGGS CGGSConfig
+
+	// SelectSeed, when non-zero, makes the Select stream deterministic:
+	// selections draw from one mutex-guarded RNG seeded here, so a
+	// replay with the same seed and the same request sequence reproduces
+	// the same audits. Zero (the default) uses a lock-free per-call RNG,
+	// the right choice for concurrent serving.
+	SelectSeed int64
+}
+
+// SolveResult carries the outcome of one Auditor.SolveDetailed call: the
+// deployable policy plus the method-specific accounting.
+type SolveResult struct {
+	// Policy is the deployable artifact, already installed as the
+	// session's current policy.
+	Policy *Policy
+	// Mixed is the solved mixed strategy with its objective.
+	Mixed *MixedPolicy
+	// ISHM carries the threshold-search accounting for MethodISHM.
+	ISHM *ISHMResult
+	// BruteForce carries the grid accounting for MethodBruteForce.
+	BruteForce *BruteForceResult
+	// PolicyVersion is the session version this solve's policy was
+	// installed as. Read it from here rather than Auditor.PolicyVersion,
+	// which may already reflect a later reload.
+	PolicyVersion uint64
+}
+
+// Auditor is a deployment session: it binds a workload, a budget, and a
+// solver configuration once, then exposes the lifecycle a serving
+// process needs — cancellable solves, an atomically swappable current
+// policy, thread-safe audit selection, and hot reload from the JSON
+// artifact. All methods are safe for concurrent use; Select keeps
+// serving the previous policy while a Solve or ReloadPolicy is in
+// flight and observes the new one atomically.
+type Auditor struct {
+	cfg AuditorConfig
+
+	// mu guards the lazily built game/instance and serializes Solve
+	// calls (concurrent solves on one session would just duplicate
+	// work; callers wanting parallel solves use separate Auditors).
+	mu     sync.Mutex
+	game   *Game
+	in     *Instance
+	seed   Thresholds // the workload's threshold seed (per-type caps)
+	budget float64
+
+	// built re-publishes the game pointer once constructed, so readers
+	// that only need its shape (SetPolicy's compatibility check, Game's
+	// fast path) never block on mu while a long solve holds it.
+	built atomic.Pointer[Game]
+
+	// cur holds the current policy together with its version in one
+	// atomic cell, so every reader sees a consistent (policy, version)
+	// pair; installMu serializes writers (a reload may race a finishing
+	// solve) so versions stay monotonic and each names the policy it
+	// was stored with.
+	cur       atomic.Pointer[installedPolicy]
+	installMu sync.Mutex
+
+	// selMu guards selRNG, the deterministic Select stream used when
+	// cfg.SelectSeed is set.
+	selMu  sync.Mutex
+	selRNG *rand.Rand
+}
+
+// installedPolicy pairs a policy with the session version it was
+// installed as.
+type installedPolicy struct {
+	p       *Policy
+	version uint64
+}
+
+// NewAuditor validates the binding and creates the session. Game
+// construction and instance preparation are deferred to the first Solve,
+// so creating a policy-only serving session is cheap even when the
+// configured workload is large.
+func NewAuditor(cfg AuditorConfig) (*Auditor, error) {
+	n := 0
+	if cfg.Workload != "" {
+		n++
+		if _, ok := GetWorkload(cfg.Workload); !ok {
+			return nil, fmt.Errorf("auditgame: unknown workload %q (have %v)", cfg.Workload, Workloads())
+		}
+	}
+	if cfg.Game != nil {
+		n++
+	}
+	if cfg.Instance != nil {
+		n++
+	}
+	if n > 1 {
+		return nil, fmt.Errorf("auditgame: AuditorConfig must bind at most one of Workload, Game, Instance")
+	}
+	switch cfg.Method {
+	case "", MethodISHM, MethodCGGS, MethodExact, MethodBruteForce:
+	default:
+		return nil, fmt.Errorf("auditgame: unknown solve method %q", cfg.Method)
+	}
+	a := &Auditor{cfg: cfg}
+	if cfg.SelectSeed != 0 {
+		a.selRNG = rand.New(rand.NewSource(cfg.SelectSeed))
+	}
+	if cfg.Instance != nil {
+		a.in = cfg.Instance
+		a.game = cfg.Instance.G
+		a.budget = cfg.Instance.Budget
+		a.seed = a.game.ThresholdCaps()
+		a.built.Store(a.game)
+	}
+	return a, nil
+}
+
+// ensureGame builds the bound game on first use. Callers hold a.mu.
+func (a *Auditor) ensureGame() error {
+	if a.game != nil {
+		return nil
+	}
+	switch {
+	case a.cfg.Workload != "":
+		g, seed, err := BuildWorkload(a.cfg.Workload, a.cfg.Scale)
+		if err != nil {
+			return err
+		}
+		a.game, a.seed = g, seed
+	case a.cfg.Game != nil:
+		a.game = a.cfg.Game
+		a.seed = a.game.ThresholdCaps()
+	default:
+		return fmt.Errorf("auditgame: Auditor has no workload, game, or instance bound; it can only serve a reloaded policy")
+	}
+	a.built.Store(a.game)
+	return nil
+}
+
+// ensureInstance builds the game and evaluation instance on first use.
+// Callers hold a.mu.
+func (a *Auditor) ensureInstance() error {
+	if a.in != nil {
+		return nil
+	}
+	if err := a.ensureGame(); err != nil {
+		return err
+	}
+	budget := a.cfg.Budget
+	if budget == 0 && a.cfg.BudgetFraction > 0 {
+		var fullCost float64
+		for _, at := range a.game.Types {
+			fullCost += at.Dist.Mean() * at.Cost
+		}
+		budget = a.cfg.BudgetFraction * fullCost
+	}
+	if budget <= 0 {
+		return fmt.Errorf("auditgame: Auditor needs Budget or BudgetFraction to solve")
+	}
+	in, err := NewInstance(a.game, budget, a.cfg.Source)
+	if err != nil {
+		return err
+	}
+	a.in, a.budget = in, budget
+	return nil
+}
+
+// Solve runs the configured solver under ctx and atomically installs the
+// resulting policy as the session's current one. Cancellation and
+// deadlines propagate into the solver loops: column generation checks
+// the context once per generated column and ISHM before every threshold
+// candidate, so a cancelled solve returns ctx's error within one pricing
+// round and installs nothing.
+func (a *Auditor) Solve(ctx context.Context) (*Policy, error) {
+	res, err := a.SolveDetailed(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return res.Policy, nil
+}
+
+// SolveDetailed is Solve with the method-specific search accounting.
+func (a *Auditor) SolveDetailed(ctx context.Context) (*SolveResult, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.ensureInstance(); err != nil {
+		return nil, err
+	}
+
+	thresholds := a.cfg.Thresholds
+	if thresholds == nil {
+		thresholds = a.seed
+	}
+
+	res := &SolveResult{}
+	switch a.cfg.Method {
+	case "", MethodISHM:
+		cfg := a.cfg.ISHM
+		if cfg.Epsilon == 0 {
+			cfg.Epsilon = 0.1
+		}
+		inner := a.ishmInner(cfg)
+		workers := cfg.Workers
+		if workers == 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		r, err := solver.ISHM(ctx, a.in, solver.ISHMOptions{
+			Epsilon:         cfg.Epsilon,
+			Inner:           inner,
+			EvaluateInitial: true,
+			Memoize:         true,
+			MaxSubset:       cfg.MaxSubset,
+			Workers:         workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.ISHM, res.Mixed = r, r.Policy
+	case MethodCGGS:
+		m, err := solver.CGGS(ctx, a.in, thresholds, solver.CGGSOptions{
+			Initial:          a.cfg.CGGS.Initial,
+			MaxColumns:       a.cfg.CGGS.MaxColumns,
+			ExhaustiveOracle: a.cfg.CGGS.ExhaustiveOracle,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Mixed = m
+	case MethodExact:
+		m, err := solver.Exact(ctx, a.in, thresholds)
+		if err != nil {
+			return nil, err
+		}
+		res.Mixed = m
+	case MethodBruteForce:
+		bf, err := solver.BruteForce(ctx, a.in)
+		if err != nil {
+			return nil, err
+		}
+		res.BruteForce, res.Mixed = bf, bf.Policy
+	}
+
+	res.Policy = PolicyFrom(a.game, a.budget, res.Mixed)
+	res.PolicyVersion = a.install(res.Policy)
+	return res, nil
+}
+
+// ishmInner builds the fixed-threshold inner solver ISHM uses, honoring
+// the session's CGGS tuning. Callers hold a.mu.
+func (a *Auditor) ishmInner(cfg ISHMConfig) solver.Inner {
+	if cfg.ExactInner {
+		return solver.ExactInner
+	}
+	opts := solver.CGGSOptions{
+		Initial:          a.cfg.CGGS.Initial,
+		MaxColumns:       a.cfg.CGGS.MaxColumns,
+		ExhaustiveOracle: a.cfg.CGGS.ExhaustiveOracle,
+	}
+	return func(ctx context.Context, in *Instance, b Thresholds) (*MixedPolicy, error) {
+		return solver.CGGS(ctx, in, b, opts)
+	}
+}
+
+// install makes p the session's current policy and returns the version
+// it was installed as. The swap is atomic: in-flight Select calls finish
+// on the policy they loaded and later calls observe the new one; no call
+// ever sees a partial policy or a (policy, version) pair that was never
+// installed together.
+func (a *Auditor) install(p *Policy) uint64 {
+	a.installMu.Lock()
+	defer a.installMu.Unlock()
+	v := uint64(1)
+	if old := a.cur.Load(); old != nil {
+		v = old.version + 1
+	}
+	a.cur.Store(&installedPolicy{p: p, version: v})
+	return v
+}
+
+// Policy returns the session's current policy, or nil before the first
+// Solve/ReloadPolicy/SetPolicy. The returned policy must be treated as
+// immutable — it may be serving concurrent Select calls.
+func (a *Auditor) Policy() *Policy {
+	p, _ := a.CurrentPolicy()
+	return p
+}
+
+// PolicyVersion counts installed policies, starting at 0 for none. A
+// serving layer exposes it so operators can confirm a hot reload took.
+func (a *Auditor) PolicyVersion() uint64 {
+	_, v := a.CurrentPolicy()
+	return v
+}
+
+// CurrentPolicy returns the current policy together with its version as
+// one consistent snapshot — what a serving layer stamps on a response to
+// identify the policy that actually answered it.
+func (a *Auditor) CurrentPolicy() (*Policy, uint64) {
+	c := a.cur.Load()
+	if c == nil {
+		return nil, 0
+	}
+	return c.p, c.version
+}
+
+// Select runs the recourse step for one audit period against the current
+// policy: given realized per-type alert counts it samples a priority
+// ordering and picks the alerts to audit within the thresholds and
+// budget. Safe for concurrent use — with the default configuration each
+// call draws from a pooled private RNG (no shared state, nothing
+// blocks); with SelectSeed set, calls serialize on one seeded stream
+// for reproducibility.
+func (a *Auditor) Select(counts []int) (*AuditSelection, error) {
+	sel, _, err := a.SelectVersioned(counts)
+	return sel, err
+}
+
+// SelectVersioned is Select plus the version of the policy that answered
+// — the pair a serving layer reports so the answer stays attributable
+// across hot reloads.
+func (a *Auditor) SelectVersioned(counts []int) (*AuditSelection, uint64, error) {
+	p, v := a.CurrentPolicy()
+	if p == nil {
+		return nil, 0, fmt.Errorf("auditgame: Auditor has no policy yet; call Solve or ReloadPolicy first")
+	}
+	if a.selRNG != nil {
+		a.selMu.Lock()
+		defer a.selMu.Unlock()
+		sel, err := p.Select(counts, a.selRNG)
+		return sel, v, err
+	}
+	sel, err := p.SelectAuto(counts)
+	return sel, v, err
+}
+
+// ReloadPolicy reads a policy artifact (as written by Policy.Save),
+// validates it against the bound game if one is already built, and
+// atomically swaps it in. This is the hot-reload entry point: a serving
+// process keeps answering Select calls on the old policy until the swap
+// and on the new one after, with no request ever dropped.
+func (a *Auditor) ReloadPolicy(r io.Reader) error {
+	p, err := LoadPolicy(r)
+	if err != nil {
+		return err
+	}
+	return a.SetPolicy(p)
+}
+
+// SetPolicy validates p and installs it as the current policy. It never
+// takes the solve lock — the shape check reads the published game
+// pointer — so a hot reload lands immediately even while a long solve
+// is running.
+func (a *Auditor) SetPolicy(p *Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if g := a.built.Load(); g != nil && len(p.TypeNames) != g.NumTypes() {
+		return fmt.Errorf("auditgame: policy covers %d alert types but the bound game has %d",
+			len(p.TypeNames), g.NumTypes())
+	}
+	a.install(p)
+	return nil
+}
+
+// Game returns the bound game, building it on first use for registry
+// bindings. Policy-only sessions return an error.
+func (a *Auditor) Game() (*Game, error) {
+	if g := a.built.Load(); g != nil {
+		return g, nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.ensureGame(); err != nil {
+		return nil, err
+	}
+	return a.game, nil
+}

@@ -9,14 +9,20 @@
 package auditgame_test
 
 import (
+	"bytes"
+	"context"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"auditgame"
 	"auditgame/internal/game"
 	"auditgame/internal/lp"
 	"auditgame/internal/sample"
+	"auditgame/internal/serve"
 	"auditgame/internal/solver"
 )
 
@@ -222,7 +228,7 @@ func BenchmarkAblationPalEstimator(b *testing.B) {
 			var obj float64
 			for i := 0; i < b.N; i++ {
 				in := synAInstance(b, 10, tc.src)
-				pol, err := solver.CGGS(in, thr, solver.CGGSOptions{})
+				pol, err := solver.CGGS(context.Background(), in, thr, solver.CGGSOptions{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -243,7 +249,7 @@ func BenchmarkAblationCRN(b *testing.B) {
 		var obj float64
 		seed := int64(1)
 		for i := 0; i < b.N; i++ {
-			inner := func(in *game.Instance, thr game.Thresholds) (*solver.MixedPolicy, error) {
+			inner := func(ctx context.Context, in *game.Instance, thr game.Thresholds) (*solver.MixedPolicy, error) {
 				if fresh {
 					// Re-draw the bank for every candidate, as a
 					// naive implementation would.
@@ -252,12 +258,12 @@ func BenchmarkAblationCRN(b *testing.B) {
 					if err != nil {
 						return nil, err
 					}
-					return solver.CGGS(in2, thr, solver.CGGSOptions{})
+					return solver.CGGS(ctx, in2, thr, solver.CGGSOptions{})
 				}
-				return solver.CGGS(in, thr, solver.CGGSOptions{})
+				return solver.CGGS(ctx, in, thr, solver.CGGSOptions{})
 			}
 			in := synAInstance(b, 10, sample.NewBank(g.Dists(), 512, 1))
-			res, err := solver.ISHM(in, solver.ISHMOptions{
+			res, err := solver.ISHM(context.Background(), in, solver.ISHMOptions{
 				Epsilon: 0.25, Inner: inner, EvaluateInitial: true,
 			})
 			if err != nil {
@@ -290,7 +296,7 @@ func BenchmarkAblationColumnOracle(b *testing.B) {
 			var obj float64
 			for i := 0; i < b.N; i++ {
 				in := synAInstance(b, 6, src)
-				pol, err := solver.CGGS(in, thr, solver.CGGSOptions{ExhaustiveOracle: exhaustive})
+				pol, err := solver.CGGS(context.Background(), in, thr, solver.CGGSOptions{ExhaustiveOracle: exhaustive})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -367,7 +373,7 @@ func BenchmarkAblationThresholdQuantization(b *testing.B) {
 			var obj float64
 			for i := 0; i < b.N; i++ {
 				in := synAInstance(b, 6, src)
-				res, err := solver.ISHM(in, solver.ISHMOptions{
+				res, err := solver.ISHM(context.Background(), in, solver.ISHMOptions{
 					Epsilon: 0.25, Inner: solver.ExactInner,
 					EvaluateInitial: true, Memoize: true, NoQuantize: noQuant,
 				})
@@ -396,7 +402,7 @@ func BenchmarkAblationThresholdSearch(b *testing.B) {
 		var evals int
 		for i := 0; i < b.N; i++ {
 			in := synAInstance(b, 6, src)
-			res, err := solver.ISHM(in, solver.ISHMOptions{
+			res, err := solver.ISHM(context.Background(), in, solver.ISHMOptions{
 				Epsilon: 0.2, Inner: solver.ExactInner, EvaluateInitial: true, Memoize: true,
 			})
 			if err != nil {
@@ -412,7 +418,7 @@ func BenchmarkAblationThresholdSearch(b *testing.B) {
 		var evals int
 		for i := 0; i < b.N; i++ {
 			in := synAInstance(b, 6, src)
-			res, err := solver.GreedyDescent(in, solver.GreedyDescentOptions{Inner: solver.ExactInner})
+			res, err := solver.GreedyDescent(context.Background(), in, solver.GreedyDescentOptions{Inner: solver.ExactInner})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -458,7 +464,7 @@ func BenchmarkPolicySelect(b *testing.B) {
 		b.Fatal(err)
 	}
 	in := synAInstance(b, 10, src)
-	mixed, err := solver.Exact(in, game.Thresholds{3, 3, 3, 3})
+	mixed, err := solver.Exact(context.Background(), in, game.Thresholds{3, 3, 3, 3})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -471,6 +477,73 @@ func BenchmarkPolicySelect(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServeSelect measures the policy server's concurrent /v1/select
+// throughput: the "session" variant is the Auditor's lock-free selection
+// path alone (the server's inner loop), the "http" variant the full
+// end-to-end request — JSON decode, thread-safe select, JSON encode —
+// over a live listener with GOMAXPROCS parallel clients. The req/s
+// metric is the headline serving number.
+func BenchmarkServeSelect(b *testing.B) {
+	aud, err := auditgame.NewAuditor(auditgame.AuditorConfig{
+		Workload: "syna",
+		Budget:   10,
+		Method:   auditgame.MethodExact,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := aud.Solve(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{6, 5, 4, 4}
+
+	b.Run("session", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := aud.Select(counts); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+
+	b.Run("http", func(b *testing.B) {
+		srv, err := serve.New(serve.Config{Auditor: aud, Logf: func(string, ...any) {}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		payload := []byte(`{"counts":[6,5,4,4]}`)
+		client := ts.Client()
+		if tr, ok := client.Transport.(*http.Transport); ok {
+			// Keep enough idle conns for the parallel clients, so the
+			// metric measures request handling, not TCP churn.
+			tr.MaxIdleConns = 256
+			tr.MaxIdleConnsPerHost = 256
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				resp, err := client.Post(ts.URL+"/v1/select", "application/json", bytes.NewReader(payload))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("select: %d", resp.StatusCode)
+					return
+				}
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
 }
 
 // BenchmarkPalEvaluation measures the raw cost of one detection-

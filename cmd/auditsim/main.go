@@ -60,6 +60,13 @@ func main() {
 		runWorkloads()
 	case "scaled":
 		err = runScaled(args)
+	case "serve":
+		// The server runs until signalled; skip the elapsed-time footer.
+		if err := runServe(args); err != nil {
+			fmt.Fprintln(os.Stderr, "auditsim:", err)
+			os.Exit(1)
+		}
+		return
 	case "sens":
 		err = runSensitivity(args)
 	case "quantal":
@@ -102,6 +109,8 @@ commands:
   fig      loss-vs-budget curves on any registered workload (-workload name)
   workloads list the registered workloads
   scaled   build a scaled workload and solve it end-to-end with CGGS
+  serve    run the HTTP policy server (daily counts in, audit selections
+           out) with hot policy reload; see "serve -h" for flags
   sens     robustness sweep over penalty × attack probability
   quantal  policy quality against boundedly rational adversaries
   drift    stale-vs-refit policy under workload drift

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"auditgame"
+	"auditgame/internal/serve"
+)
+
+// runServe starts the long-running HTTP policy server: daily counts in
+// (POST /v1/select), audit selections out, with hot policy reload from
+// the JSON artifact (mtime poll + SIGHUP) and cancellable async
+// re-solves (POST /v1/solve). Any registered workload is deployable.
+//
+//	auditsim serve -workload syna -budget 10 -solve-on-start -policy policy.json
+//	auditsim serve -policy policy.json                  # serve an existing artifact
+//	kill -HUP <pid>                                     # explicit hot reload
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("auditsim serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	policyPath := fs.String("policy", "", "policy JSON artifact to serve and hot-reload")
+	workload := fs.String("workload", "", "registered workload to bind for /v1/solve (empty = policy-only)")
+	entities := fs.Int("entities", 0, "workload scale: entities (0 = scenario default)")
+	types := fs.Int("types", 0, "workload scale: alert types (0 = scenario default)")
+	victims := fs.Int("victims", 0, "workload scale: victims (0 = scenario default)")
+	seed := fs.Int64("seed", 1, "workload seed")
+	budget := fs.Float64("budget", 0, "audit budget")
+	frac := fs.Float64("budget-frac", 0, "budget as a fraction of the expected full audit cost")
+	method := fs.String("method", "ishm", "solver: ishm, cggs, or exact")
+	eps := fs.Float64("eps", 0.1, "ISHM shrink step")
+	bank := fs.Int("bank", 0, "Monte-Carlo bank size (0 = default)")
+	poll := fs.Duration("poll", 2*time.Second, "policy artifact mtime poll interval (<0 disables)")
+	solveTimeout := fs.Duration("solve-timeout", 0, "default deadline for /v1/solve jobs (0 = none)")
+	solveOnStart := fs.Bool("solve-on-start", false, "solve the workload before listening (writes -policy if set)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var m auditgame.SolveMethod
+	switch *method {
+	case "ishm":
+		m = auditgame.MethodISHM
+	case "cggs":
+		m = auditgame.MethodCGGS
+	case "exact":
+		m = auditgame.MethodExact
+	default:
+		return fmt.Errorf("serve: unknown -method %q (want ishm, cggs, or exact)", *method)
+	}
+	if *workload == "" && *policyPath == "" {
+		return fmt.Errorf("serve: need -workload (to solve) or -policy (to serve an artifact), or both")
+	}
+
+	cfg := auditgame.AuditorConfig{
+		Budget:         *budget,
+		BudgetFraction: *frac,
+		Method:         m,
+		ISHM:           auditgame.ISHMConfig{Epsilon: *eps},
+		Source:         auditgame.SourceOptions{BankSize: *bank, Seed: *seed + 1},
+	}
+	if *workload != "" {
+		cfg.Workload = *workload
+		cfg.Scale = auditgame.WorkloadScale{
+			Entities: *entities, AlertTypes: *types, Victims: *victims, Seed: *seed,
+		}
+	}
+	a, err := auditgame.NewAuditor(cfg)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *solveOnStart {
+		if *workload == "" {
+			return fmt.Errorf("serve: -solve-on-start needs -workload")
+		}
+		log.Printf("serve: solving %q before listening (%s)...", *workload, *method)
+		start := time.Now()
+		pol, err := a.Solve(ctx)
+		if err != nil {
+			return fmt.Errorf("serve: startup solve: %w", err)
+		}
+		log.Printf("serve: solved in %.1fs, expected loss %.4f", time.Since(start).Seconds(), pol.ExpectedLoss)
+		if *policyPath != "" {
+			f, err := os.Create(*policyPath)
+			if err != nil {
+				return err
+			}
+			if err := pol.Save(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			log.Printf("serve: wrote %s", *policyPath)
+		}
+	}
+
+	s, err := serve.New(serve.Config{
+		Auditor:      a,
+		PolicyPath:   *policyPath,
+		PollInterval: *poll,
+		SolveTimeout: *solveTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	err = s.Run(ctx, *addr)
+	if errors.Is(err, http.ErrServerClosed) || errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}

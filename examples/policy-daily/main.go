@@ -1,13 +1,16 @@
 // Daily operations: run a solved audit policy against a fresh day of TDMT
-// alerts. This is the recourse step the paper's model optimizes for — the
-// policy file is computed offline (see the other examples); each morning
-// the auditor samples a priority ordering and selects a random subset of
-// each bin within the thresholds.
+// alerts, through the deployment-oriented Auditor session API. The
+// session binds the workload, budget, and solver once; Solve computes and
+// installs the policy, and each morning Select samples a priority
+// ordering and picks a random subset of each bin within the thresholds.
+// (A long-running deployment would put the same session behind
+// `auditsim serve` and hot-reload the policy artifact instead.)
 //
 //	go run ./examples/policy-daily
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -16,24 +19,32 @@ import (
 )
 
 func main() {
-	// Offline: look the scenario up in the workload registry, solve the
-	// game, and package the policy.
-	g, _, err := auditgame.BuildWorkload("syna", auditgame.WorkloadScale{})
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Offline: bind the session — scenario by registry name, budget, and
+	// solver — then solve. SelectSeed makes the daily selections
+	// reproducible for this tour; serving deployments omit it and get
+	// the concurrency-safe per-call RNG.
 	const budget = 10.0
-	in, err := auditgame.NewInstance(g, budget, auditgame.SourceOptions{Seed: 1})
+	auditor, err := auditgame.NewAuditor(auditgame.AuditorConfig{
+		Workload:   "syna",
+		Budget:     budget,
+		Source:     auditgame.SourceOptions{Seed: 1},
+		ISHM:       auditgame.ISHMConfig{Epsilon: 0.1, ExactInner: true},
+		SelectSeed: 99,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := auditgame.SolveISHM(in, auditgame.ISHMConfig{Epsilon: 0.1, ExactInner: true})
+	pol, err := auditor.Solve(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	pol := auditgame.PolicyFrom(g, budget, res.Policy)
 	fmt.Printf("policy: loss %.3f, thresholds %v, %d orderings in support\n\n",
-		pol.ExpectedLoss, res.Policy.Thresholds, len(pol.Orderings))
+		pol.ExpectedLoss, pol.Thresholds, len(pol.Orderings))
+
+	g, err := auditor.Game()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Online: a week of simulated alert traffic through a TDMT log.
 	const days = 5
@@ -57,13 +68,13 @@ func main() {
 		}
 	}
 
-	// Each day: read the bins, run the policy's selection step.
+	// Each day: read the bins, run the session's selection step.
 	for day := 0; day < days; day++ {
 		counts, err := auditgame.CountsForDay(logbook, day)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sel, err := pol.Select(counts, r)
+		sel, err := auditor.Select(counts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -118,7 +119,7 @@ func figure(g *game.Game, budgets []float64, opt FigOptions) (*FigureResult, err
 		// the ε=0.1 thresholds there).
 		var borrowed game.Thresholds
 		for i, eps := range opt.Epsilons {
-			r, err := solver.ISHM(in, solver.ISHMOptions{
+			r, err := solver.ISHM(context.Background(), in, solver.ISHMOptions{
 				Epsilon:         eps,
 				Inner:           solver.CGGSInner,
 				EvaluateInitial: true,
@@ -135,7 +136,7 @@ func figure(g *game.Game, budgets []float64, opt FigOptions) (*FigureResult, err
 			}
 		}
 
-		rt, err := solver.RandomThresholdLoss(in, opt.RandomThresholdDraws, opt.Seed+3, solver.CGGSInner)
+		rt, err := solver.RandomThresholdLoss(context.Background(), in, opt.RandomThresholdDraws, opt.Seed+3, solver.CGGSInner)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -89,7 +90,7 @@ func ScaledCGGS(cfg ScaledConfig) (*ScaledResult, error) {
 		return nil, err
 	}
 
-	pol, stats, err := solver.CGGSWithStats(in, caps, solver.CGGSOptions{})
+	pol, stats, err := solver.CGGSWithStats(context.Background(), in, caps, solver.CGGSOptions{})
 	if err != nil {
 		return nil, fmt.Errorf("exp: scaled CGGS (%d types): %w", g.NumTypes(), err)
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -98,14 +99,14 @@ func Sensitivity(cfg SensitivityConfig) ([]SensitivityRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			ishm, err := solver.ISHM(in, solver.ISHMOptions{
+			ishm, err := solver.ISHM(context.Background(), in, solver.ISHMOptions{
 				Epsilon: cfg.Epsilon, Inner: solver.ExactInner,
 				EvaluateInitial: true, Memoize: true,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("exp: sensitivity M=%v pe=%v: %w", penalty, pa, err)
 			}
-			rt, err := solver.RandomThresholdLoss(in, cfg.Draws, cfg.Seed, solver.ExactInner)
+			rt, err := solver.RandomThresholdLoss(context.Background(), in, cfg.Draws, cfg.Seed, solver.ExactInner)
 			if err != nil {
 				return nil, err
 			}
@@ -152,7 +153,7 @@ func QuantalRobustness(budget float64, lambdas []float64) ([]QuantalRow, error) 
 	if err != nil {
 		return nil, err
 	}
-	ishm, err := solver.ISHM(in, solver.ISHMOptions{
+	ishm, err := solver.ISHM(context.Background(), in, solver.ISHMOptions{
 		Epsilon: 0.1, Inner: solver.ExactInner, EvaluateInitial: true, Memoize: true,
 	})
 	if err != nil {
@@ -203,7 +204,7 @@ func WorkloadShift(budget float64, scales []float64) ([]WorkloadShiftRow, error)
 	if err != nil {
 		return nil, err
 	}
-	orig, err := solver.ISHM(base, solver.ISHMOptions{
+	orig, err := solver.ISHM(context.Background(), base, solver.ISHMOptions{
 		Epsilon: 0.1, Inner: solver.ExactInner, EvaluateInitial: true, Memoize: true,
 	})
 	if err != nil {
@@ -230,7 +231,7 @@ func WorkloadShift(budget float64, scales []float64) ([]WorkloadShiftRow, error)
 		if err != nil {
 			return nil, err
 		}
-		refit, err := solver.ISHM(in, solver.ISHMOptions{
+		refit, err := solver.ISHM(context.Background(), in, solver.ISHMOptions{
 			Epsilon: 0.1, Inner: solver.ExactInner, EvaluateInitial: true, Memoize: true,
 		})
 		if err != nil {

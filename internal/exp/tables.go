@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -37,7 +38,7 @@ func Table3(budgets []float64) ([]Table3Row, error) {
 		if err != nil {
 			return err
 		}
-		bf, err := solver.BruteForce(in)
+		bf, err := solver.BruteForce(context.Background(), in)
 		if err != nil {
 			return fmt.Errorf("exp: table3 B=%v: %w", B, err)
 		}
@@ -122,7 +123,7 @@ func ishmGrid(budgets, epsilons []float64, inner solver.Inner) (*GridResult, err
 		}
 		row := make([]GridCell, 0, len(epsilons))
 		for _, eps := range epsilons {
-			r, err := solver.ISHM(in, solver.ISHMOptions{
+			r, err := solver.ISHM(context.Background(), in, solver.ISHMOptions{
 				Epsilon:         eps,
 				Inner:           inner,
 				EvaluateInitial: true,

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -54,7 +55,7 @@ func Validate(cfg ValidateConfig) ([]ValidationRow, error) {
 		return nil, err
 	}
 	g := in.G
-	res, err := solver.ISHM(in, solver.ISHMOptions{
+	res, err := solver.ISHM(context.Background(), in, solver.ISHMOptions{
 		Epsilon: 0.1, Inner: solver.ExactInner, EvaluateInitial: true, Memoize: true,
 	})
 	if err != nil {

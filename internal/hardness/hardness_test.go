@@ -1,6 +1,7 @@
 package hardness
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -83,7 +84,7 @@ func solveReducedOAP(t *testing.T, red *Reduction, W int) float64 {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bf, err := solver.BruteForce(in)
+	bf, err := solver.BruteForce(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"math"
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -26,4 +28,62 @@ func FuzzLoad(f *testing.F) {
 			t.Fatalf("saved policy failed to reload: %v", err)
 		}
 	})
+}
+
+// TestRoundTripProperty generates random valid policies and checks the
+// save/load cycle is the identity up to Normalize's exact-simplex snap:
+// every structural field survives byte-for-byte and the probabilities
+// come back within float-print precision, already normalized.
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		nT := 1 + r.Intn(6)
+		p := &Policy{Budget: r.Float64() * 20, ExpectedLoss: r.NormFloat64()}
+		for t := 0; t < nT; t++ {
+			p.TypeNames = append(p.TypeNames, string(rune('A'+t)))
+			p.Costs = append(p.Costs, 0.5+r.Float64()*3)
+			p.Thresholds = append(p.Thresholds, r.Float64()*5)
+		}
+		nO := 1 + r.Intn(4)
+		var sum float64
+		for i := 0; i < nO; i++ {
+			p.Orderings = append(p.Orderings, r.Perm(nT))
+			w := r.Float64() + 1e-3
+			p.Probs = append(p.Probs, w)
+			sum += w
+		}
+		for i := range p.Probs {
+			p.Probs[i] /= sum
+		}
+		p.Normalize()
+
+		var buf strings.Builder
+		if err := p.Save(&buf); err != nil {
+			t.Fatalf("iter %d: save: %v", iter, err)
+		}
+		back, err := Load(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("iter %d: load: %v", iter, err)
+		}
+		if len(back.TypeNames) != nT || len(back.Orderings) != nO {
+			t.Fatalf("iter %d: shape changed", iter)
+		}
+		for i := range p.Probs {
+			if math.Abs(back.Probs[i]-p.Probs[i]) > 1e-12 {
+				t.Fatalf("iter %d: prob %d drifted %v -> %v", iter, i, p.Probs[i], back.Probs[i])
+			}
+		}
+		var backSum float64
+		for _, pr := range back.Probs {
+			backSum += pr
+		}
+		if math.Abs(backSum-1) > 1e-12 {
+			t.Fatalf("iter %d: reloaded probs sum to %v", iter, backSum)
+		}
+		for t2 := range p.Costs {
+			if back.Costs[t2] != p.Costs[t2] || back.Thresholds[t2] != p.Thresholds[t2] {
+				t.Fatalf("iter %d: cost/threshold changed at %d", iter, t2)
+			}
+		}
+	}
 }

@@ -11,6 +11,9 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Policy is a complete, self-describing audit policy.
@@ -33,6 +36,22 @@ type Policy struct {
 	ExpectedLoss float64 `json:"expected_loss"`
 }
 
+// ValidationError pinpoints the offending field of an invalid policy
+// artifact, so operators debugging a rejected reload see exactly which
+// JSON entry is bad rather than a generic decode failure.
+type ValidationError struct {
+	// Field is the JSON path of the bad entry, e.g. "probs[3]".
+	Field string
+	// Value is the offending number.
+	Value float64
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("policy: invalid %s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
 // Validate checks internal consistency.
 func (p *Policy) Validate() error {
 	nT := len(p.TypeNames)
@@ -44,15 +63,18 @@ func (p *Policy) Validate() error {
 			len(p.Costs), len(p.Thresholds), nT)
 	}
 	for t, c := range p.Costs {
-		if c <= 0 {
-			return fmt.Errorf("policy: cost of type %d is %v", t, c)
+		if math.IsNaN(c) || c <= 0 {
+			return &ValidationError{Field: fmt.Sprintf("costs[%d]", t), Value: c, Reason: "audit cost must be a positive number"}
 		}
-		if p.Thresholds[t] < 0 {
-			return fmt.Errorf("policy: threshold of type %d is %v", t, p.Thresholds[t])
+		if b := p.Thresholds[t]; math.IsNaN(b) || b < 0 {
+			return &ValidationError{Field: fmt.Sprintf("thresholds[%d]", t), Value: b, Reason: "threshold must be non-negative"}
 		}
 	}
-	if p.Budget < 0 {
-		return fmt.Errorf("policy: negative budget %v", p.Budget)
+	if math.IsNaN(p.Budget) || p.Budget < 0 {
+		return &ValidationError{Field: "budget", Value: p.Budget, Reason: "budget must be non-negative"}
+	}
+	if math.IsNaN(p.ExpectedLoss) {
+		return &ValidationError{Field: "expected_loss", Value: p.ExpectedLoss, Reason: "expected loss must be a number"}
 	}
 	if len(p.Orderings) == 0 || len(p.Orderings) != len(p.Probs) {
 		return fmt.Errorf("policy: %d orderings with %d probs", len(p.Orderings), len(p.Probs))
@@ -62,15 +84,39 @@ func (p *Policy) Validate() error {
 		if err := validPerm(o, nT); err != nil {
 			return fmt.Errorf("policy: ordering %d: %v", i, err)
 		}
-		if p.Probs[i] < -1e-9 {
-			return fmt.Errorf("policy: negative probability %v", p.Probs[i])
+		if pr := p.Probs[i]; math.IsNaN(pr) || pr < -1e-9 {
+			return &ValidationError{Field: fmt.Sprintf("probs[%d]", i), Value: pr, Reason: "probability must be non-negative"}
 		}
 		sum += p.Probs[i]
 	}
 	if math.Abs(sum-1) > 1e-6 {
-		return fmt.Errorf("policy: probabilities sum to %v", sum)
+		return &ValidationError{Field: "probs", Value: sum, Reason: "probabilities must sum to 1 (±1e-6)"}
 	}
 	return nil
+}
+
+// Normalize snaps the mixed strategy back onto the simplex: probabilities
+// within 1e-9 below zero are clamped to 0 and the vector is rescaled to
+// sum to exactly 1, provided the drift is inside Validate's 1e-6
+// acceptance band. Anything further off stays untouched for Validate to
+// reject with the offending field. Load applies this automatically, so a
+// serving process never accumulates float drift across repeated
+// save/reload cycles.
+func (p *Policy) Normalize() {
+	var sum float64
+	for i, pr := range p.Probs {
+		if pr < 0 && pr >= -1e-9 {
+			p.Probs[i] = 0
+			pr = 0
+		}
+		sum += pr
+	}
+	if sum <= 0 || math.IsNaN(sum) || math.Abs(sum-1) > 1e-6 {
+		return
+	}
+	for i := range p.Probs {
+		p.Probs[i] /= sum
+	}
 }
 
 func validPerm(o []int, n int) error {
@@ -97,12 +143,15 @@ func (p *Policy) Save(w io.Writer) error {
 	return enc.Encode(p)
 }
 
-// Load reads a policy written by Save and validates it.
+// Load reads a policy written by Save, renormalizes float drift in the
+// mixed strategy, and validates it. Invalid numeric fields are reported
+// as a *ValidationError naming the offending JSON entry.
 func Load(r io.Reader) (*Policy, error) {
 	var p Policy
 	if err := json.NewDecoder(r).Decode(&p); err != nil {
 		return nil, fmt.Errorf("policy: decode: %w", err)
 	}
+	p.Normalize()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -180,6 +229,46 @@ func (p *Policy) Select(counts []int, r *rand.Rand) (*Selection, error) {
 		remaining -= math.Min(p.Thresholds[t], float64(counts[t])*ct)
 	}
 	return sel, nil
+}
+
+// selectSeed is the lock-free seed sequence behind SelectAuto's RNG
+// pool: each fresh generator advances it by the golden-ratio increment
+// and finalizes with the splitmix64 mixer, so generators are seeded
+// distinct and well-spread without any shared mutex.
+var selectSeed atomic.Uint64
+
+func init() { selectSeed.Store(uint64(time.Now().UnixNano())) }
+
+func nextSelectSeed() int64 {
+	x := selectSeed.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}
+
+// selectRNGs pools the SelectAuto generators: seeding a math/rand
+// source expands ~600 words of state, far too expensive per request on
+// the serving hot path. A pooled generator is seeded once and then just
+// continues its stream across uses; no state is ever shared between
+// concurrent callers.
+var selectRNGs = sync.Pool{
+	New: func() any { return rand.New(rand.NewSource(nextSelectSeed())) },
+}
+
+// SelectAuto is Select with an internally managed random source, safe
+// for concurrent use from any number of goroutines: each call checks a
+// private generator out of a pool seeded from a lock-free sequence, so
+// no RNG state is shared and nothing blocks. Serving deployments use
+// this path; deterministic tests and replays keep the seeded Select
+// variant.
+func (p *Policy) SelectAuto(counts []int) (*Selection, error) {
+	r := selectRNGs.Get().(*rand.Rand)
+	sel, err := p.Select(counts, r)
+	selectRNGs.Put(r)
+	return sel, err
 }
 
 func min3(a, b, c int) int {

@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -124,7 +125,7 @@ func TestEndToEndSolvedPolicyValidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mixed, err := solver.Exact(in, game.Thresholds{3, 3, 3, 3})
+	mixed, err := solver.Exact(context.Background(), in, game.Thresholds{3, 3, 3, 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,79 @@
+package serve
+
+import "auditgame"
+
+// APIVersion is the wire version stamped on every response. Requests may
+// carry a "v" field; zero (absent) and the current version are accepted,
+// anything newer is rejected with 400 so an old server never silently
+// misreads a newer client's payload.
+const APIVersion = 1
+
+// SelectRequest is the body of POST /v1/select: one audit period's
+// realized per-type alert counts, index-aligned with the policy's
+// type_names.
+type SelectRequest struct {
+	V      int   `json:"v,omitempty"`
+	Counts []int `json:"counts"`
+}
+
+// SelectResponse is the recourse outcome: the sampled priority ordering
+// and the chosen alert indexes per type.
+type SelectResponse struct {
+	V int `json:"v"`
+	// PolicyVersion identifies the policy that answered, so operators
+	// can confirm which artifact served a given selection across hot
+	// reloads.
+	PolicyVersion uint64  `json:"policy_version"`
+	Ordering      []int   `json:"ordering"`
+	Chosen        [][]int `json:"chosen"`
+	Spent         float64 `json:"spent"`
+	Audited       int     `json:"audited"`
+}
+
+// PolicyResponse is the body of GET /v1/policy: the full current
+// artifact plus serving metadata.
+type PolicyResponse struct {
+	V             int               `json:"v"`
+	PolicyVersion uint64            `json:"policy_version"`
+	Policy        *auditgame.Policy `json:"policy"`
+}
+
+// SolveRequest is the body of POST /v1/solve. The game, budget, and
+// solver are fixed by the server's Auditor session; the request only
+// bounds the solve.
+type SolveRequest struct {
+	V int `json:"v,omitempty"`
+	// TimeoutSeconds deadline-bounds the solve; 0 means the server's
+	// configured default (possibly unbounded).
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// JobResponse describes an async solve job (POST /v1/solve returns it
+// with 202; GET /v1/solve/{id} polls it).
+type JobResponse struct {
+	V     int    `json:"v"`
+	JobID string `json:"job_id"`
+	// Status is "running", "done", "error", or "cancelled".
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+	// PolicyVersion is the version the solved policy was installed as,
+	// for status "done".
+	PolicyVersion  uint64  `json:"policy_version,omitempty"`
+	ExpectedLoss   float64 `json:"expected_loss,omitempty"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	V             int     `json:"v"`
+	Status        string  `json:"status"`
+	PolicyLoaded  bool    `json:"policy_loaded"`
+	PolicyVersion uint64  `json:"policy_version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	V     int    `json:"v"`
+	Error string `json:"error"`
+}

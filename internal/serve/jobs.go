@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Job states. A job leaves "running" exactly once.
+const (
+	jobRunning   = "running"
+	jobDone      = "done"
+	jobError     = "error"
+	jobCancelled = "cancelled"
+)
+
+// job tracks one async solve: its cancel handle while running and its
+// outcome afterwards.
+type job struct {
+	id     string
+	cancel context.CancelFunc
+
+	mu            sync.Mutex
+	status        string
+	err           string
+	policyVersion uint64
+	expectedLoss  float64
+	started       time.Time
+	finished      time.Time
+}
+
+func (j *job) snapshot() JobResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	return JobResponse{
+		V:              APIVersion,
+		JobID:          j.id,
+		Status:         j.status,
+		Error:          j.err,
+		PolicyVersion:  j.policyVersion,
+		ExpectedLoss:   j.expectedLoss,
+		ElapsedSeconds: end.Sub(j.started).Seconds(),
+	}
+}
+
+func (j *job) finish(status, errMsg string, version uint64, loss float64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != jobRunning {
+		return
+	}
+	j.status = status
+	j.err = errMsg
+	j.policyVersion = version
+	j.expectedLoss = loss
+	j.finished = time.Now()
+}
+
+// jobTable is the registry behind /v1/solve. Finished jobs are kept so
+// their outcome stays pollable; a serving process runs a handful of
+// solves a day, so growth is not a concern.
+type jobTable struct {
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*job
+}
+
+func newJobTable() *jobTable {
+	return &jobTable{jobs: make(map[string]*job)}
+}
+
+func (t *jobTable) create(cancel context.CancelFunc) *job {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	j := &job{
+		id:      fmt.Sprintf("solve-%d", t.seq),
+		cancel:  cancel,
+		status:  jobRunning,
+		started: time.Now(),
+	}
+	t.jobs[j.id] = j
+	return j
+}
+
+func (t *jobTable) get(id string) (*job, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.jobs[id]
+	return j, ok
+}

@@ -1,0 +1,383 @@
+// Package serve is the deployment face of the reproduction: a
+// long-running HTTP policy server on top of the auditgame.Auditor
+// session API. Daily alert counts go in (POST /v1/select), audit
+// selections come out; the policy artifact hot-reloads from disk (mtime
+// poll + SIGHUP) with an atomic swap, so a refreshed policy takes over
+// mid-traffic without dropping a request; and POST /v1/solve runs
+// cancellable, deadline-bounded re-solves as async jobs.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"auditgame"
+)
+
+// Config wires a Server.
+type Config struct {
+	// Auditor is the bound session the server fronts. Required.
+	Auditor *auditgame.Auditor
+	// PolicyPath is the JSON policy artifact to serve. When set, the
+	// server loads it at startup (if present) and hot-reloads it when
+	// its mtime changes or on SIGHUP.
+	PolicyPath string
+	// PollInterval is the artifact mtime poll period. Zero means 2s;
+	// negative disables polling (SIGHUP reload still works).
+	PollInterval time.Duration
+	// SolveTimeout caps each /v1/solve job. Zero means the job runs
+	// until done or cancelled; a request's timeout_seconds overrides
+	// for that job.
+	SolveTimeout time.Duration
+	// Logf logs serving events; nil means the standard logger.
+	Logf func(format string, args ...any)
+}
+
+// Server is the HTTP policy server. Create with New, mount Handler, or
+// let Run own the listener and the reload machinery.
+type Server struct {
+	cfg   Config
+	aud   *auditgame.Auditor
+	logf  func(format string, args ...any)
+	start time.Time
+	jobs  *jobTable
+
+	// reloadMu serializes artifact reloads; lastMod/lastSize fingerprint
+	// the last successfully loaded artifact.
+	reloadMu sync.Mutex
+	lastMod  time.Time
+	lastSize int64
+
+	// baseCtx parents every solve job so Shutdown cancels them; set by
+	// Run, defaults to Background for handler-only use.
+	baseMu  sync.Mutex
+	baseCtx context.Context
+}
+
+// New validates cfg and builds the server. If cfg.PolicyPath exists, the
+// artifact is loaded immediately; a missing file is not an error (the
+// policy can arrive later via reload or a solve).
+func New(cfg Config) (*Server, error) {
+	if cfg.Auditor == nil {
+		return nil, fmt.Errorf("serve: Config.Auditor is required")
+	}
+	if cfg.PollInterval == 0 {
+		cfg.PollInterval = 2 * time.Second
+	}
+	s := &Server{
+		cfg:     cfg,
+		aud:     cfg.Auditor,
+		logf:    cfg.Logf,
+		start:   time.Now(),
+		jobs:    newJobTable(),
+		baseCtx: context.Background(),
+	}
+	if s.logf == nil {
+		s.logf = log.Printf
+	}
+	if cfg.PolicyPath != "" {
+		_, err := os.Stat(cfg.PolicyPath)
+		switch {
+		case err == nil:
+			if err := s.Reload(); err != nil {
+				return nil, fmt.Errorf("serve: initial policy load: %w", err)
+			}
+		case errors.Is(err, os.ErrNotExist):
+			// Not arrived yet; the policy can come later via reload or
+			// a solve.
+		default:
+			return nil, fmt.Errorf("serve: policy artifact: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Handler returns the route table. It is safe to mount under a parent
+// mux or hand to httptest.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/select", s.handleSelect)
+	mux.HandleFunc("GET /v1/policy", s.handlePolicy)
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/solve/{id}", s.handleJobStatus)
+	mux.HandleFunc("DELETE /v1/solve/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// Run serves on addr until ctx is cancelled, then shuts down gracefully
+// (in-flight requests finish; pending solve jobs are cancelled). It owns
+// the reload machinery: the artifact mtime poll and SIGHUP.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	s.baseMu.Lock()
+	s.baseCtx = ctx
+	s.baseMu.Unlock()
+
+	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	defer stopWatch()
+	go s.watch(watchCtx)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	s.logf("serve: listening on %s", addr)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(shutCtx)
+	}
+}
+
+// watch hot-reloads the policy artifact: a PollInterval mtime poll plus
+// SIGHUP for operators who want an immediate, explicit reload.
+func (s *Server) watch(ctx context.Context) {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+
+	var tick <-chan time.Time
+	if s.cfg.PolicyPath != "" && s.cfg.PollInterval > 0 {
+		t := time.NewTicker(s.cfg.PollInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-hup:
+			s.logf("serve: SIGHUP, reloading policy")
+			if err := s.Reload(); err != nil {
+				s.logf("serve: reload failed, keeping current policy: %v", err)
+			}
+		case <-tick:
+			changed, err := s.reloadIfModified()
+			if err != nil {
+				s.logf("serve: reload failed, keeping current policy: %v", err)
+			} else if changed {
+				s.logf("serve: policy artifact changed on disk, reloaded (version %d)", s.aud.PolicyVersion())
+			}
+		}
+	}
+}
+
+// Reload unconditionally loads the artifact and swaps it in atomically.
+// On any error the current policy keeps serving.
+func (s *Server) Reload() error {
+	if s.cfg.PolicyPath == "" {
+		return fmt.Errorf("serve: no policy path configured")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	return s.loadLocked()
+}
+
+// reloadIfModified reloads when the artifact's (mtime, size)
+// fingerprint differs from the last loaded one. Any difference counts —
+// not just a newer mtime — so a deploy that atomically renames a
+// pre-staged file with an older timestamp still loads.
+func (s *Server) reloadIfModified() (bool, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	fi, err := os.Stat(s.cfg.PolicyPath)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return false, nil // not arrived yet; keep serving
+		}
+		return false, err
+	}
+	if fi.ModTime().Equal(s.lastMod) && fi.Size() == s.lastSize {
+		return false, nil
+	}
+	if err := s.loadLocked(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// loadLocked reads and installs the artifact. Callers hold reloadMu.
+func (s *Server) loadLocked() error {
+	f, err := os.Open(s.cfg.PolicyPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if err := s.aud.ReloadPolicy(f); err != nil {
+		return err
+	}
+	s.lastMod = fi.ModTime()
+	s.lastSize = fi.Size()
+	return nil
+}
+
+// --- handlers ---
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req SelectRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	sel, version, err := s.aud.SelectVersioned(req.Counts)
+	if err != nil {
+		status := http.StatusBadRequest
+		if s.aud.Policy() == nil {
+			// No policy installed yet: the request was fine, the
+			// server just is not ready to answer it.
+			status = http.StatusServiceUnavailable
+		}
+		writeErr(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SelectResponse{
+		V:             APIVersion,
+		PolicyVersion: version,
+		Ordering:      sel.Ordering,
+		Chosen:        sel.Chosen,
+		Spent:         sel.Spent,
+		Audited:       sel.Audited(),
+	})
+}
+
+func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	p, version := s.aud.CurrentPolicy()
+	if p == nil {
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("no policy installed"))
+		return
+	}
+	writeJSON(w, http.StatusOK, PolicyResponse{
+		V:             APIVersion,
+		PolicyVersion: version,
+		Policy:        p,
+	})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	timeout := s.cfg.SolveTimeout
+	if req.TimeoutSeconds > 0 { // NaN fails this check and keeps the default
+		const maxSeconds = float64(math.MaxInt64 / int64(time.Second))
+		ts := math.Min(req.TimeoutSeconds, maxSeconds) // avoid Duration overflow going negative
+		timeout = time.Duration(ts * float64(time.Second))
+	}
+
+	s.baseMu.Lock()
+	base := s.baseCtx
+	s.baseMu.Unlock()
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(base, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(base)
+	}
+	j := s.jobs.create(cancel)
+
+	go func() {
+		defer cancel()
+		res, err := s.aud.SolveDetailed(ctx)
+		switch {
+		case err == nil:
+			j.finish(jobDone, "", res.PolicyVersion, res.Policy.ExpectedLoss)
+			s.logf("serve: solve %s done (loss %.4f, policy version %d)", j.id, res.Policy.ExpectedLoss, res.PolicyVersion)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			j.finish(jobCancelled, err.Error(), 0, 0)
+			s.logf("serve: solve %s cancelled: %v", j.id, err)
+		default:
+			j.finish(jobError, err.Error(), 0, 0)
+			s.logf("serve: solve %s failed: %v", j.id, err)
+		}
+	}()
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	p, version := s.aud.CurrentPolicy()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		V:             APIVersion,
+		Status:        "ok",
+		PolicyLoaded:  p != nil,
+		PolicyVersion: version,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}
+
+// --- plumbing ---
+
+// decode parses a JSON body and enforces the wire version. It writes the
+// error response itself and reports whether the caller should proceed.
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(dst); err != nil && !errors.Is(err, io.EOF) {
+		// An empty body is the zero-value request: every field of every
+		// request type is optional.
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	v := 0
+	switch req := dst.(type) {
+	case *SelectRequest:
+		v = req.V
+	case *SolveRequest:
+		v = req.V
+	}
+	if v > APIVersion {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unsupported api version %d (server speaks %d)", v, APIVersion))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		// Headers are gone; nothing to do but note it.
+		log.Printf("serve: encoding response: %v", err)
+	}
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{V: APIVersion, Error: err.Error()})
+}

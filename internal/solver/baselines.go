@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -52,7 +53,7 @@ func sampleOrderings(nT, n int, seed int64) []game.Ordering {
 // Σ b_t ≥ B (paper assumption 1), the auditor then plays the optimal
 // ordering mixture for those thresholds (assumption 2, via inner), and the
 // reported loss is the mean over n draws.
-func RandomThresholdLoss(in *game.Instance, n int, seed int64, inner Inner) (float64, error) {
+func RandomThresholdLoss(ctx context.Context, in *game.Instance, n int, seed int64, inner Inner) (float64, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("solver: RandomThresholdLoss needs n > 0")
 	}
@@ -83,7 +84,7 @@ func RandomThresholdLoss(in *game.Instance, n int, seed int64, inner Inner) (flo
 				break
 			}
 		}
-		pol, err := inner(in, b)
+		pol, err := inner(ctx, in, b)
 		if err != nil {
 			return 0, err
 		}

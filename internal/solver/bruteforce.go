@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 
 	"auditgame/internal/game"
@@ -22,8 +23,9 @@ type BruteForceResult struct {
 // integer threshold vector with b_t ∈ {0, C_t, …, J_t·C_t} (J_t the top of
 // the truncated count support) and Σ b_t ≥ min(B, Σ caps), solves the
 // ordering LP to optimality at each, and returns the best. Exponential in
-// |T|; it exists as ground truth for the controlled evaluation.
-func BruteForce(in *game.Instance) (*BruteForceResult, error) {
+// |T|; it exists as ground truth for the controlled evaluation. The
+// context is checked at every explored grid point.
+func BruteForce(ctx context.Context, in *game.Instance) (*BruteForceResult, error) {
 	nT := in.G.NumTypes()
 	if nT > 6 {
 		return nil, fmt.Errorf("solver: brute force over %d types is intractable; use ISHM", nT)
@@ -54,7 +56,7 @@ func BruteForce(in *game.Instance) (*BruteForceResult, error) {
 				return nil
 			}
 			res.Explored++
-			pol, err := Exact(in, b)
+			pol, err := Exact(ctx, in, b)
 			if err != nil {
 				return err
 			}

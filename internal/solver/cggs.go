@@ -6,6 +6,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -102,13 +103,17 @@ type CGGSStats struct {
 // restricted master LP and greedily constructing a new ordering that
 // minimizes reduced cost, appending one alert type at a time; it stops
 // when the greedy column no longer prices negatively.
-func CGGS(in *game.Instance, b game.Thresholds, opts CGGSOptions) (*MixedPolicy, error) {
-	pol, _, err := CGGSWithStats(in, b, opts)
+//
+// The context is checked once per generated column (master solve +
+// greedy pricing round), so cancellation latency is bounded by one
+// pricing round.
+func CGGS(ctx context.Context, in *game.Instance, b game.Thresholds, opts CGGSOptions) (*MixedPolicy, error) {
+	pol, _, err := CGGSWithStats(ctx, in, b, opts)
 	return pol, err
 }
 
 // CGGSWithStats is CGGS with the solve's work accounting.
-func CGGSWithStats(in *game.Instance, b game.Thresholds, opts CGGSOptions) (*MixedPolicy, CGGSStats, error) {
+func CGGSWithStats(ctx context.Context, in *game.Instance, b game.Thresholds, opts CGGSOptions) (*MixedPolicy, CGGSStats, error) {
 	var stats CGGSStats
 	palEvals0 := in.PalEvals()
 	nT := in.G.NumTypes()
@@ -127,6 +132,9 @@ func CGGSWithStats(in *game.Instance, b game.Thresholds, opts CGGSOptions) (*Mix
 
 	var res *game.LPResult
 	for len(Q) <= opts.MaxColumns {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		var err error
 		res, err = in.SolveFixed(Q, b)
 		if err != nil {
@@ -203,8 +211,12 @@ func CGGSWithStats(in *game.Instance, b game.Thresholds, opts CGGSOptions) (*Mix
 // Exact solves the fixed-threshold LP over every ordering of the alert
 // types. It is exponential in |T| and refuses |T| > 8; use CGGS beyond
 // that. This is the "solving the linear program to optimality" inner
-// solver used for Tables III, IV and VI (γ¹).
-func Exact(in *game.Instance, b game.Thresholds) (*MixedPolicy, error) {
+// solver used for Tables III, IV and VI (γ¹). The context is checked on
+// entry; the single SolveFixed over all orderings is not interruptible.
+func Exact(ctx context.Context, in *game.Instance, b game.Thresholds) (*MixedPolicy, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	all := game.AllOrderings(in.G.NumTypes())
 	res, err := in.SolveFixed(all, b)
 	if err != nil {
@@ -216,17 +228,18 @@ func Exact(in *game.Instance, b game.Thresholds) (*MixedPolicy, error) {
 // Inner is a fixed-threshold solver: it returns the auditor's optimal (or
 // approximately optimal) mixed strategy for the given thresholds. ISHM is
 // parameterized over it — Exact reproduces Table IV, CGGS reproduces
-// Table V.
-type Inner func(in *game.Instance, b game.Thresholds) (*MixedPolicy, error)
+// Table V. Implementations must return promptly with ctx.Err() once the
+// context is done.
+type Inner func(ctx context.Context, in *game.Instance, b game.Thresholds) (*MixedPolicy, error)
 
 // ExactInner adapts Exact to the Inner signature.
-func ExactInner(in *game.Instance, b game.Thresholds) (*MixedPolicy, error) {
-	return Exact(in, b)
+func ExactInner(ctx context.Context, in *game.Instance, b game.Thresholds) (*MixedPolicy, error) {
+	return Exact(ctx, in, b)
 }
 
 // CGGSInner adapts CGGS with default options to the Inner signature.
-func CGGSInner(in *game.Instance, b game.Thresholds) (*MixedPolicy, error) {
-	return CGGS(in, b, CGGSOptions{})
+func CGGSInner(ctx context.Context, in *game.Instance, b game.Thresholds) (*MixedPolicy, error) {
+	return CGGS(ctx, in, b, CGGSOptions{})
 }
 
 // BenefitOrdering returns alert types sorted by decreasing maximum

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -32,8 +33,9 @@ type GreedyDescentOptions struct {
 	MaxMoves int
 }
 
-// GreedyDescent runs the coordinate search.
-func GreedyDescent(in *game.Instance, opts GreedyDescentOptions) (*GreedyDescentResult, error) {
+// GreedyDescent runs the coordinate search. The context is checked
+// before every inner LP solve.
+func GreedyDescent(ctx context.Context, in *game.Instance, opts GreedyDescentOptions) (*GreedyDescentResult, error) {
 	inner := opts.Inner
 	if inner == nil {
 		if in.G.NumTypes() <= 6 {
@@ -54,11 +56,14 @@ func GreedyDescent(in *game.Instance, opts GreedyDescentOptions) (*GreedyDescent
 	res := &GreedyDescentResult{}
 	memo := map[string]*MixedPolicy{}
 	eval := func(b game.Thresholds) (*MixedPolicy, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Evaluations++
 		if pol, ok := memo[b.Key()]; ok {
 			return pol, nil
 		}
-		pol, err := inner(in, b)
+		pol, err := inner(ctx, in, b)
 		if err != nil {
 			return nil, err
 		}
@@ -107,12 +112,12 @@ func GreedyDescent(in *game.Instance, opts GreedyDescentOptions) (*GreedyDescent
 // DescentVsISHM runs both threshold searches on the same instance and
 // returns their results for comparison; it exists so the ablation bench
 // and tests share one code path.
-func DescentVsISHM(in *game.Instance, epsilon float64) (*GreedyDescentResult, *ISHMResult, error) {
-	gd, err := GreedyDescent(in, GreedyDescentOptions{})
+func DescentVsISHM(ctx context.Context, in *game.Instance, epsilon float64) (*GreedyDescentResult, *ISHMResult, error) {
+	gd, err := GreedyDescent(ctx, in, GreedyDescentOptions{})
 	if err != nil {
 		return nil, nil, fmt.Errorf("solver: descent: %w", err)
 	}
-	is, err := ISHM(in, ISHMOptions{Epsilon: epsilon, EvaluateInitial: true, Memoize: true})
+	is, err := ISHM(ctx, in, ISHMOptions{Epsilon: epsilon, EvaluateInitial: true, Memoize: true})
 	if err != nil {
 		return nil, nil, fmt.Errorf("solver: ishm: %w", err)
 	}

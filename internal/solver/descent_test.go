@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -10,11 +11,11 @@ import (
 func TestGreedyDescentImprovesOnCaps(t *testing.T) {
 	in := testInstance(t, 3)
 	caps := game.Thresholds(in.G.ThresholdCaps())
-	initial, err := Exact(in, caps)
+	initial, err := Exact(context.Background(), in, caps)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gd, err := GreedyDescent(in, GreedyDescentOptions{})
+	gd, err := GreedyDescent(context.Background(), in, GreedyDescentOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,11 +29,11 @@ func TestGreedyDescentImprovesOnCaps(t *testing.T) {
 
 func TestGreedyDescentNearBruteForce(t *testing.T) {
 	in := testInstance(t, 3)
-	bf, err := BruteForce(in)
+	bf, err := BruteForce(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gd, err := GreedyDescent(in, GreedyDescentOptions{})
+	gd, err := GreedyDescent(context.Background(), in, GreedyDescentOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestGreedyDescentNearBruteForce(t *testing.T) {
 
 func TestGreedyDescentRespectsMaxMoves(t *testing.T) {
 	in := testInstance(t, 3)
-	gd, err := GreedyDescent(in, GreedyDescentOptions{MaxMoves: 1})
+	gd, err := GreedyDescent(context.Background(), in, GreedyDescentOptions{MaxMoves: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestGreedyDescentRespectsMaxMoves(t *testing.T) {
 
 func TestDescentVsISHMBothRun(t *testing.T) {
 	in := testInstance(t, 3)
-	gd, is, err := DescentVsISHM(in, 0.25)
+	gd, is, err := DescentVsISHM(context.Background(), in, 0.25)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -65,7 +66,11 @@ type ISHMOptions struct {
 // first improving shrink and restarting, and grows the subset size when no
 // single ratio improves. The search ends when subsets of size |T| at every
 // ratio fail to improve.
-func ISHM(in *game.Instance, opts ISHMOptions) (*ISHMResult, error) {
+//
+// The context is checked before every threshold-candidate evaluation
+// (and inside the ctx-aware inner solvers), so cancellation latency is
+// bounded by one inner LP solve.
+func ISHM(ctx context.Context, in *game.Instance, opts ISHMOptions) (*ISHMResult, error) {
 	if opts.Epsilon <= 0 || opts.Epsilon >= 1 {
 		return nil, fmt.Errorf("solver: ISHM epsilon %v outside (0,1)", opts.Epsilon)
 	}
@@ -92,6 +97,9 @@ func ISHM(in *game.Instance, opts ISHMOptions) (*ISHMResult, error) {
 	// the unique count.
 	seen := map[string]bool{}
 	eval := func(b game.Thresholds) (*MixedPolicy, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		key := b.Key()
 		memoMu.Lock()
 		result.Evaluations++
@@ -107,7 +115,7 @@ func ISHM(in *game.Instance, opts ISHMOptions) (*ISHMResult, error) {
 		}
 		memoMu.Unlock()
 
-		pol, err := inner(in, b)
+		pol, err := inner(ctx, in, b)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -12,13 +13,13 @@ func TestISHMParallelMatchesSerial(t *testing.T) {
 	for _, budget := range []float64{2, 3, 5} {
 		serialIn := testInstance(t, budget)
 		parallelIn := testInstance(t, budget)
-		serial, err := ISHM(serialIn, ISHMOptions{
+		serial, err := ISHM(context.Background(), serialIn, ISHMOptions{
 			Epsilon: 0.2, Inner: ExactInner, EvaluateInitial: true, Memoize: true,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		parallel, err := ISHM(parallelIn, ISHMOptions{
+		parallel, err := ISHM(context.Background(), parallelIn, ISHMOptions{
 			Epsilon: 0.2, Inner: ExactInner, EvaluateInitial: true, Memoize: true, Workers: 8,
 		})
 		if err != nil {
@@ -83,7 +84,7 @@ func TestCGGSDeterministicAcrossWorkers(t *testing.T) {
 	for _, workers := range []int{1, 4, 8} {
 		in := testInstance(t, 4)
 		in.Workers = workers
-		pol, err := CGGS(in, b, CGGSOptions{})
+		pol, err := CGGS(context.Background(), in, b, CGGSOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,7 +122,7 @@ func TestISHMDeterministicAcrossWorkers(t *testing.T) {
 	for _, workers := range []int{1, 4, 8} {
 		in := testInstance(t, 3)
 		in.Workers = workers
-		res, err := ISHM(in, ISHMOptions{
+		res, err := ISHM(context.Background(), in, ISHMOptions{
 			Epsilon: 0.2, Inner: ExactInner, EvaluateInitial: true, Memoize: true,
 			Workers: workers,
 		})
@@ -153,7 +154,7 @@ func TestLossParallelSerialIdentical(t *testing.T) {
 		serial.Workers = 1
 		parallel := testInstance(t, budget)
 		parallel.Workers = 8
-		pol, err := Exact(serial, game.Thresholds{2, 2, 2})
+		pol, err := Exact(context.Background(), serial, game.Thresholds{2, 2, 2})
 		if err != nil {
 			t.Fatal(err)
 		}

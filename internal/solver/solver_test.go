@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -54,11 +55,11 @@ func TestCGGSExhaustiveOracleMatchesExact(t *testing.T) {
 	for _, budget := range []float64{1, 2, 3, 5} {
 		in := testInstance(t, budget)
 		b := game.Thresholds{2, 2, 2}
-		exact, err := Exact(in, b)
+		exact, err := Exact(context.Background(), in, b)
 		if err != nil {
 			t.Fatal(err)
 		}
-		cg, err := CGGS(in, b, CGGSOptions{ExhaustiveOracle: true})
+		cg, err := CGGS(context.Background(), in, b, CGGSOptions{ExhaustiveOracle: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,11 +76,11 @@ func TestCGGSGreedyWithinTolerance(t *testing.T) {
 	for _, budget := range []float64{1, 2, 3, 5} {
 		in := testInstance(t, budget)
 		b := game.Thresholds{2, 2, 2}
-		exact, err := Exact(in, b)
+		exact, err := Exact(context.Background(), in, b)
 		if err != nil {
 			t.Fatal(err)
 		}
-		cg, err := CGGS(in, b, CGGSOptions{})
+		cg, err := CGGS(context.Background(), in, b, CGGSOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func TestCGGSGreedyWithinTolerance(t *testing.T) {
 
 func TestCGGSProbabilitiesFormDistribution(t *testing.T) {
 	in := testInstance(t, 3)
-	cg, err := CGGS(in, game.Thresholds{2, 3, 2}, CGGSOptions{})
+	cg, err := CGGS(context.Background(), in, game.Thresholds{2, 3, 2}, CGGSOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestCGGSProbabilitiesFormDistribution(t *testing.T) {
 func TestCGGSWithStatsAccounting(t *testing.T) {
 	in := testInstance(t, 3)
 	b := game.Thresholds{2, 3, 2}
-	pol, stats, err := CGGSWithStats(in, b, CGGSOptions{})
+	pol, stats, err := CGGSWithStats(context.Background(), in, b, CGGSOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestCGGSWithStatsAccounting(t *testing.T) {
 	}
 	// The plain CGGS wrapper must agree with the stats variant.
 	in2 := testInstance(t, 3)
-	pol2, err := CGGS(in2, b, CGGSOptions{})
+	pol2, err := CGGS(context.Background(), in2, b, CGGSOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestCGGSWithStatsAccounting(t *testing.T) {
 
 func TestCGGSInitialOrderingValidation(t *testing.T) {
 	in := testInstance(t, 3)
-	_, err := CGGS(in, game.Thresholds{2, 2, 2}, CGGSOptions{Initial: game.Ordering{0, 0, 1}})
+	_, err := CGGS(context.Background(), in, game.Thresholds{2, 2, 2}, CGGSOptions{Initial: game.Ordering{0, 0, 1}})
 	if err == nil {
 		t.Fatal("expected error for invalid initial ordering")
 	}
@@ -153,11 +154,11 @@ func TestCGGSInitialOrderingValidation(t *testing.T) {
 func TestCGGSDeterministic(t *testing.T) {
 	in := testInstance(t, 3)
 	b := game.Thresholds{2, 2, 2}
-	a, err := CGGS(in, b, CGGSOptions{})
+	a, err := CGGS(context.Background(), in, b, CGGSOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := CGGS(in, b, CGGSOptions{})
+	c, err := CGGS(context.Background(), in, b, CGGSOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestCGGSDeterministic(t *testing.T) {
 func TestExactObjectiveConsistentWithLoss(t *testing.T) {
 	in := testInstance(t, 2)
 	b := game.Thresholds{1, 2, 1}
-	pol, err := Exact(in, b)
+	pol, err := Exact(context.Background(), in, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestExactObjectiveConsistentWithLoss(t *testing.T) {
 
 func TestMixedPolicySupport(t *testing.T) {
 	in := testInstance(t, 3)
-	pol, err := Exact(in, game.Thresholds{2, 2, 2})
+	pol, err := Exact(context.Background(), in, game.Thresholds{2, 2, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestMixedPolicySupport(t *testing.T) {
 
 func TestBruteForceBeatsOrMatchesEverything(t *testing.T) {
 	in := testInstance(t, 3)
-	bf, err := BruteForce(in)
+	bf, err := BruteForce(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestBruteForceBeatsOrMatchesEverything(t *testing.T) {
 	}
 	// The optimum must be no worse than a few arbitrary grid policies.
 	for _, b := range []game.Thresholds{{2, 3, 2}, {1, 1, 1}, {2, 0, 2}, {0, 3, 2}} {
-		pol, err := Exact(in, b)
+		pol, err := Exact(context.Background(), in, b)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -228,7 +229,7 @@ func TestBruteForceBudgetMonotone(t *testing.T) {
 	var prev float64 = math.Inf(1)
 	for _, budget := range []float64{1, 2, 4, 6} {
 		in := testInstance(t, budget)
-		bf, err := BruteForce(in)
+		bf, err := BruteForce(context.Background(), in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -254,18 +255,18 @@ func TestBruteForceRejectsManyTypes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := BruteForce(in); err == nil {
+	if _, err := BruteForce(context.Background(), in); err == nil {
 		t.Fatal("expected refusal for |T| > 6")
 	}
 }
 
 func TestISHMFindsNearOptimal(t *testing.T) {
 	in := testInstance(t, 3)
-	bf, err := BruteForce(in)
+	bf, err := BruteForce(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ISHM(in, ISHMOptions{Epsilon: 0.1, Inner: ExactInner, EvaluateInitial: true, Memoize: true})
+	res, err := ISHM(context.Background(), in, ISHMOptions{Epsilon: 0.1, Inner: ExactInner, EvaluateInitial: true, Memoize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,11 +288,11 @@ func TestISHMFindsNearOptimal(t *testing.T) {
 func TestISHMNeverWorseThanInitial(t *testing.T) {
 	in := testInstance(t, 2)
 	caps := game.Thresholds(in.G.ThresholdCaps())
-	initial, err := Exact(in, caps)
+	initial, err := Exact(context.Background(), in, caps)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ISHM(in, ISHMOptions{Epsilon: 0.25, Inner: ExactInner, EvaluateInitial: true})
+	res, err := ISHM(context.Background(), in, ISHMOptions{Epsilon: 0.25, Inner: ExactInner, EvaluateInitial: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +304,7 @@ func TestISHMNeverWorseThanInitial(t *testing.T) {
 func TestISHMEpsilonValidation(t *testing.T) {
 	in := testInstance(t, 2)
 	for _, eps := range []float64{0, -0.5, 1, 2} {
-		if _, err := ISHM(in, ISHMOptions{Epsilon: eps}); err == nil {
+		if _, err := ISHM(context.Background(), in, ISHMOptions{Epsilon: eps}); err == nil {
 			t.Fatalf("expected error for epsilon %v", eps)
 		}
 	}
@@ -313,11 +314,11 @@ func TestISHMSmallerEpsilonNoWorse(t *testing.T) {
 	// Finer steps explore a superset of ratios; on this instance the
 	// finer search should not be substantially worse.
 	in := testInstance(t, 3)
-	fine, err := ISHM(in, ISHMOptions{Epsilon: 0.1, Inner: ExactInner, EvaluateInitial: true, Memoize: true})
+	fine, err := ISHM(context.Background(), in, ISHMOptions{Epsilon: 0.1, Inner: ExactInner, EvaluateInitial: true, Memoize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	coarse, err := ISHM(in, ISHMOptions{Epsilon: 0.5, Inner: ExactInner, EvaluateInitial: true, Memoize: true})
+	coarse, err := ISHM(context.Background(), in, ISHMOptions{Epsilon: 0.5, Inner: ExactInner, EvaluateInitial: true, Memoize: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +362,7 @@ func TestBenefitOrdering(t *testing.T) {
 
 func TestBaselinesNeverBeatOptimum(t *testing.T) {
 	in := testInstance(t, 3)
-	bf, err := BruteForce(in)
+	bf, err := BruteForce(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +372,7 @@ func TestBaselinesNeverBeatOptimum(t *testing.T) {
 	if ro < opt-1e-7 {
 		t.Fatalf("random orders (%v) beat the optimum (%v)", ro, opt)
 	}
-	rt, err := RandomThresholdLoss(in, 20, 7, ExactInner)
+	rt, err := RandomThresholdLoss(context.Background(), in, 20, 7, ExactInner)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,18 +387,18 @@ func TestBaselinesNeverBeatOptimum(t *testing.T) {
 
 func TestRandomThresholdLossValidation(t *testing.T) {
 	in := testInstance(t, 2)
-	if _, err := RandomThresholdLoss(in, 0, 1, ExactInner); err == nil {
+	if _, err := RandomThresholdLoss(context.Background(), in, 0, 1, ExactInner); err == nil {
 		t.Fatal("expected error for n = 0")
 	}
 }
 
 func TestRandomThresholdLossDeterministicSeed(t *testing.T) {
 	in := testInstance(t, 2)
-	a, err := RandomThresholdLoss(in, 5, 3, ExactInner)
+	a, err := RandomThresholdLoss(context.Background(), in, 5, 3, ExactInner)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RandomThresholdLoss(in, 5, 3, ExactInner)
+	b, err := RandomThresholdLoss(context.Background(), in, 5, 3, ExactInner)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,7 @@
 package auditgame
 
 import (
-	"runtime"
+	"context"
 
 	"auditgame/internal/game"
 	"auditgame/internal/solver"
@@ -25,25 +25,45 @@ type CGGSConfig struct {
 
 // SolveCGGS computes the optimal randomized ordering for fixed thresholds
 // by column generation with a greedy ordering oracle.
+//
+// Deprecated: bind an Auditor with MethodCGGS instead — it carries a
+// context for cancellation and installs the result as a servable policy.
+// This wrapper runs with context.Background().
 func SolveCGGS(in *Instance, thresholds Thresholds, cfg CGGSConfig) (*MixedPolicy, error) {
-	return solver.CGGS(in, thresholds, solver.CGGSOptions{
-		Initial:          cfg.Initial,
-		MaxColumns:       cfg.MaxColumns,
-		ExhaustiveOracle: cfg.ExhaustiveOracle,
+	res, err := solveDetached(AuditorConfig{
+		Instance:   in,
+		Method:     MethodCGGS,
+		Thresholds: thresholds,
+		CGGS:       cfg,
 	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Mixed, nil
 }
 
 // SolveExact computes the optimal randomized ordering for fixed thresholds
 // over every permutation of alert types. Exponential in the number of
 // types; refuses more than 8.
+//
+// Deprecated: bind an Auditor with MethodExact instead. This wrapper runs
+// with context.Background().
 func SolveExact(in *Instance, thresholds Thresholds) (*MixedPolicy, error) {
-	return solver.Exact(in, thresholds)
+	res, err := solveDetached(AuditorConfig{
+		Instance:   in,
+		Method:     MethodExact,
+		Thresholds: thresholds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Mixed, nil
 }
 
 // ISHMConfig tunes the Iterative Shrink Heuristic Method (Algorithm 2).
 type ISHMConfig struct {
 	// Epsilon is the shrink step size in (0,1); the paper recommends
-	// ≤ 0.2 for near-optimal results.
+	// ≤ 0.2 for near-optimal results. Zero defaults to 0.1.
 	Epsilon float64
 	// ExactInner solves each fixed-threshold LP over all orderings
 	// instead of by column generation. Only sensible for few types.
@@ -62,23 +82,19 @@ type ISHMResult = solver.ISHMResult
 // SolveISHM searches thresholds with ISHM, solving the inner ordering LP
 // by CGGS (or exactly, per cfg), and returns the best policy found along
 // with exploration accounting.
+//
+// Deprecated: bind an Auditor (MethodISHM is the default) instead. This
+// wrapper runs with context.Background().
 func SolveISHM(in *Instance, cfg ISHMConfig) (*ISHMResult, error) {
-	inner := solver.CGGSInner
-	if cfg.ExactInner {
-		inner = solver.ExactInner
-	}
-	workers := cfg.Workers
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	return solver.ISHM(in, solver.ISHMOptions{
-		Epsilon:         cfg.Epsilon,
-		Inner:           inner,
-		EvaluateInitial: true,
-		Memoize:         true,
-		MaxSubset:       cfg.MaxSubset,
-		Workers:         workers,
+	res, err := solveDetached(AuditorConfig{
+		Instance: in,
+		Method:   MethodISHM,
+		ISHM:     cfg,
 	})
+	if err != nil {
+		return nil, err
+	}
+	return res.ISHM, nil
 }
 
 // BruteForceResult is the exact OAP optimum plus search accounting.
@@ -87,8 +103,28 @@ type BruteForceResult = solver.BruteForceResult
 // SolveBruteForce exhaustively finds the optimal threshold vector on the
 // integer grid, solving the ordering LP exactly at every point. Ground
 // truth for small games only.
+//
+// Deprecated: bind an Auditor with MethodBruteForce instead. This wrapper
+// runs with context.Background().
 func SolveBruteForce(in *Instance) (*BruteForceResult, error) {
-	return solver.BruteForce(in)
+	res, err := solveDetached(AuditorConfig{
+		Instance: in,
+		Method:   MethodBruteForce,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.BruteForce, nil
+}
+
+// solveDetached is the shared body of the deprecated free functions: a
+// throwaway Auditor session solved once with a background context.
+func solveDetached(cfg AuditorConfig) (*SolveResult, error) {
+	a, err := NewAuditor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return a.SolveDetailed(context.Background())
 }
 
 // Loss evaluates the auditor's expected loss of an arbitrary mixed policy
@@ -108,7 +144,7 @@ func BaselineRandomOrders(in *Instance, thresholds Thresholds, samples int, seed
 // BaselineRandomThresholds is the mean loss over n random threshold draws,
 // each played with its optimal ordering mixture.
 func BaselineRandomThresholds(in *Instance, n int, seed int64) (float64, error) {
-	return solver.RandomThresholdLoss(in, n, seed, solver.CGGSInner)
+	return solver.RandomThresholdLoss(context.Background(), in, n, seed, solver.CGGSInner)
 }
 
 // BaselineGreedyBenefit is the loss of the non-strategic policy that
