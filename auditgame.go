@@ -23,7 +23,10 @@
 //	pol.Save(os.Stdout)
 //	sel, _ := a.Select(counts)     // each period; safe for concurrent use
 //
-// `auditsim serve` puts the same session behind HTTP. The free
+// `auditsim serve` puts the same session behind HTTP. With a drift
+// Tracker attached (AttachTracker), the session watches the observed
+// counts and re-solves itself when the live workload drifts away from
+// the model the policy assumes (see examples/online-refit). The free
 // functions (SolveISHM, SolveCGGS, ...) remain as deprecated wrappers
 // for batch experiments.
 //

@@ -148,6 +148,14 @@ type Auditor struct {
 	// cfg.SelectSeed is set.
 	selMu  sync.Mutex
 	selRNG *rand.Rand
+
+	// refitBinding holds the attached drift tracker and its refit
+	// options (see refit.go). It is its own atomic cell — not under mu —
+	// so the Observe ingest path never blocks behind a long solve.
+	refitBinding atomic.Pointer[trackerBinding]
+	// refitting single-flights Refit: a drift firing that lands while a
+	// refit is already solving is dropped, not queued.
+	refitting atomic.Bool
 }
 
 // installedPolicy pairs a policy with the session version it was
@@ -274,6 +282,21 @@ func (a *Auditor) SolveDetailed(ctx context.Context) (*SolveResult, error) {
 		thresholds = a.seed
 	}
 
+	res, err := a.solveOn(ctx, a.in, thresholds)
+	if err != nil {
+		return nil, err
+	}
+	res.Policy = PolicyFrom(a.game, a.budget, res.Mixed)
+	res.PolicyVersion = a.install(res.Policy, a.game.Dists())
+	return res, nil
+}
+
+// solveOn runs the session's configured solver on the given instance and
+// threshold seed without installing anything — the shared body of
+// SolveDetailed (which solves the bound instance and installs) and Refit
+// (which solves a candidate instance and gates the install). Callers
+// hold a.mu.
+func (a *Auditor) solveOn(ctx context.Context, in *Instance, thresholds Thresholds) (*SolveResult, error) {
 	res := &SolveResult{}
 	switch a.cfg.Method {
 	case "", MethodISHM:
@@ -286,7 +309,7 @@ func (a *Auditor) SolveDetailed(ctx context.Context) (*SolveResult, error) {
 		if workers == 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
-		r, err := solver.ISHM(ctx, a.in, solver.ISHMOptions{
+		r, err := solver.ISHM(ctx, in, solver.ISHMOptions{
 			Epsilon:         cfg.Epsilon,
 			Inner:           inner,
 			EvaluateInitial: true,
@@ -299,7 +322,7 @@ func (a *Auditor) SolveDetailed(ctx context.Context) (*SolveResult, error) {
 		}
 		res.ISHM, res.Mixed = r, r.Policy
 	case MethodCGGS:
-		m, err := solver.CGGS(ctx, a.in, thresholds, solver.CGGSOptions{
+		m, err := solver.CGGS(ctx, in, thresholds, solver.CGGSOptions{
 			Initial:          a.cfg.CGGS.Initial,
 			MaxColumns:       a.cfg.CGGS.MaxColumns,
 			ExhaustiveOracle: a.cfg.CGGS.ExhaustiveOracle,
@@ -309,21 +332,18 @@ func (a *Auditor) SolveDetailed(ctx context.Context) (*SolveResult, error) {
 		}
 		res.Mixed = m
 	case MethodExact:
-		m, err := solver.Exact(ctx, a.in, thresholds)
+		m, err := solver.Exact(ctx, in, thresholds)
 		if err != nil {
 			return nil, err
 		}
 		res.Mixed = m
 	case MethodBruteForce:
-		bf, err := solver.BruteForce(ctx, a.in)
+		bf, err := solver.BruteForce(ctx, in)
 		if err != nil {
 			return nil, err
 		}
 		res.BruteForce, res.Mixed = bf, bf.Policy
 	}
-
-	res.Policy = PolicyFrom(a.game, a.budget, res.Mixed)
-	res.PolicyVersion = a.install(res.Policy)
 	return res, nil
 }
 
@@ -348,7 +368,13 @@ func (a *Auditor) ishmInner(cfg ISHMConfig) solver.Inner {
 // on the policy they loaded and later calls observe the new one; no call
 // ever sees a partial policy or a (policy, version) pair that was never
 // installed together.
-func (a *Auditor) install(p *Policy) uint64 {
+//
+// model, when non-nil, is the count model p was solved against; an
+// attached drift tracker's reference is reset to it inside the same
+// installMu critical section, so concurrent install paths (a finishing
+// refit racing a hot reload) can never leave the tracker's reference
+// version mismatched with the serving policy.
+func (a *Auditor) install(p *Policy, model []Distribution) uint64 {
 	a.installMu.Lock()
 	defer a.installMu.Unlock()
 	v := uint64(1)
@@ -356,6 +382,11 @@ func (a *Auditor) install(p *Policy) uint64 {
 		v = old.version + 1
 	}
 	a.cur.Store(&installedPolicy{p: p, version: v})
+	if b := a.refitBinding.Load(); b != nil && model != nil {
+		// Shape was validated at attach; installs are rare, so the
+		// tracker's per-type variance pass is off every hot path.
+		_ = b.tr.SetInstalled(model, v)
+	}
 	return v
 }
 
@@ -431,16 +462,24 @@ func (a *Auditor) ReloadPolicy(r io.Reader) error {
 // SetPolicy validates p and installs it as the current policy. It never
 // takes the solve lock — the shape check reads the published game
 // pointer — so a hot reload lands immediately even while a long solve
-// is running.
+// is running. Like every install, it resets an attached tracker's
+// reference to the session's current game model under the new version,
+// so /v1/drift stays attributable and a reload does not race the
+// detector into an immediate refit.
 func (a *Auditor) SetPolicy(p *Policy) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
-	if g := a.built.Load(); g != nil && len(p.TypeNames) != g.NumTypes() {
+	g := a.built.Load()
+	if g != nil && len(p.TypeNames) != g.NumTypes() {
 		return fmt.Errorf("auditgame: policy covers %d alert types but the bound game has %d",
 			len(p.TypeNames), g.NumTypes())
 	}
-	a.install(p)
+	var model []Distribution
+	if g != nil {
+		model = g.Dists()
+	}
+	a.install(p, model)
 	return nil
 }
 

@@ -19,9 +19,14 @@ import (
 // runServe starts the long-running HTTP policy server: daily counts in
 // (POST /v1/select), audit selections out, with hot policy reload from
 // the JSON artifact (mtime poll + SIGHUP) and cancellable async
-// re-solves (POST /v1/solve). Any registered workload is deployable.
+// re-solves (POST /v1/solve). With -refit, counts posted to
+// POST /v1/observe feed a drift tracker that re-solves and installs a
+// fresh policy when the live workload moves away from the model the
+// serving policy assumes (GET /v1/drift shows the detector state). Any
+// registered workload is deployable.
 //
 //	auditsim serve -workload syna -budget 10 -solve-on-start -policy policy.json
+//	auditsim serve -workload syna -budget 10 -solve-on-start -refit -refit-window 28
 //	auditsim serve -policy policy.json                  # serve an existing artifact
 //	kill -HUP <pid>                                     # explicit hot reload
 func runServe(args []string) error {
@@ -41,6 +46,13 @@ func runServe(args []string) error {
 	poll := fs.Duration("poll", 2*time.Second, "policy artifact mtime poll interval (<0 disables)")
 	solveTimeout := fs.Duration("solve-timeout", 0, "default deadline for /v1/solve jobs (0 = none)")
 	solveOnStart := fs.Bool("solve-on-start", false, "solve the workload before listening (writes -policy if set)")
+	refit := fs.Bool("refit", false, "track counts posted to /v1/observe and re-solve when the workload drifts (needs -workload)")
+	refitWindow := fs.Int("refit-window", 28, "refit: sliding-window size in periods")
+	refitCadence := fs.Int("refit-cadence", 1, "refit: run the drift detector every N observed periods")
+	refitThreshold := fs.Float64("refit-threshold", 0.2, "refit: total-variation drift threshold in (0,1]")
+	refitMinInterval := fs.Int("refit-min-interval", 0, "refit: min periods between drift firings (0 = window/2, <0 disables)")
+	refitCooldown := fs.Int("refit-cooldown", 0, "refit: quiet periods after an installed refit (0 = window/2, <0 disables)")
+	refitMinDelta := fs.Float64("refit-min-delta", 0.01, "refit: relative loss improvement a refit policy must exceed to install (<0 always installs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +88,38 @@ func runServe(args []string) error {
 	a, err := auditgame.NewAuditor(cfg)
 	if err != nil {
 		return err
+	}
+
+	if *refit {
+		if *workload == "" {
+			return fmt.Errorf("serve: -refit needs -workload (a policy-only server has nothing to re-solve)")
+		}
+		if !(*refitThreshold > 0 && *refitThreshold <= 1) {
+			return fmt.Errorf("serve: -refit-threshold %v must be in (0, 1]", *refitThreshold)
+		}
+		g, err := a.Game()
+		if err != nil {
+			return err
+		}
+		det := auditgame.NewDistanceDetector()
+		det.TVThreshold = *refitThreshold
+		tr, err := auditgame.NewTracker(g.NumTypes(), auditgame.TrackerConfig{
+			Window:      *refitWindow,
+			Cadence:     *refitCadence,
+			MinInterval: *refitMinInterval,
+			Cooldown:    *refitCooldown,
+			Detector:    det,
+		})
+		if err != nil {
+			return err
+		}
+		// The server schedules refits as jobs itself, so AutoRefit
+		// stays off.
+		if err := a.AttachTracker(tr, auditgame.RefitOptions{MinLossDelta: *refitMinDelta}); err != nil {
+			return err
+		}
+		log.Printf("serve: drift tracking on (window %d, cadence %d, tv threshold %.2f, min delta %.3f)",
+			*refitWindow, *refitCadence, *refitThreshold, *refitMinDelta)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

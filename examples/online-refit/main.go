@@ -1,12 +1,17 @@
 // Online refitting: operate an audit policy while the alert workload
-// drifts, re-solving the game from a sliding-window workload model every
-// week. Demonstrates the StreamEstimator plus the practical answer to the
-// paper's known-distribution assumption (§II-A): keep the model fresh.
+// drifts. The Auditor session tracks the observed counts through a
+// drift Tracker (sliding windows + a two-stage distance detector); when
+// the live workload moves away from the model the installed policy was
+// solved against, a refit re-solves on the window snapshot and installs
+// only if the policy moves enough to matter. This is the practical
+// answer to the paper's known-distribution assumption (§II-A): the
+// model stays fresh and the solver runs only when it pays.
 //
 //	go run ./examples/online-refit
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -15,11 +20,10 @@ import (
 )
 
 const (
-	numTypes   = 3
-	window     = 14 // days of history the workload model remembers
-	refitEvery = 7  // re-solve cadence
-	horizon    = 56 // simulated days
-	budget     = 3.0
+	numTypes = 3
+	window   = 14 // days of history the workload model remembers
+	horizon  = 84 // simulated days
+	budget   = 3.0
 )
 
 func main() {
@@ -37,63 +41,81 @@ func main() {
 		return ds
 	}
 
-	estimators := make([]*auditgame.StreamEstimator, numTypes)
-	for t := range estimators {
-		var err error
-		if estimators[t], err = auditgame.NewStreamEstimator(window); err != nil {
-			log.Fatal(err)
-		}
+	// Bind the session once: the day-0 model, the budget, the solver.
+	a, err := auditgame.NewAuditor(auditgame.AuditorConfig{
+		Game:   buildGame(truthAt(0)),
+		Budget: budget,
+		Method: auditgame.MethodISHM,
+		ISHM:   auditgame.ISHMConfig{Epsilon: 0.2, ExactInner: true},
+		Source: auditgame.SourceOptions{Seed: 7},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pol, err := a.Solve(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("day  0: solved  loss=%7.3f  thresholds=%v\n", pol.ExpectedLoss, pol.Thresholds)
+
+	// Attach the drift tracker: it owns one sliding window per alert
+	// type and decides when the model has moved enough to re-solve —
+	// no hand-rolled refit cadence.
+	tr, err := auditgame.NewTracker(numTypes, auditgame.TrackerConfig{Window: window})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := a.AttachTracker(tr, auditgame.RefitOptions{MinLossDelta: 0}); err != nil {
+		log.Fatal(err)
 	}
 
-	// Warm-up: observe two weeks before the first solve.
-	day := 0
-	for ; day < window; day++ {
-		for t, d := range truthAt(day) {
-			estimators[t].Observe(d.Sample(r))
-		}
-	}
-
-	var pol *auditgame.Policy
-	solve := func(day int) {
-		g := buildGame(estimators)
-		in, err := auditgame.NewInstance(g, budget, auditgame.SourceOptions{Seed: int64(day)})
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := auditgame.SolveISHM(in, auditgame.ISHMConfig{Epsilon: 0.2, ExactInner: true})
-		if err != nil {
-			log.Fatal(err)
-		}
-		pol = auditgame.PolicyFrom(g, budget, res.Policy)
-		fmt.Printf("day %2d: refit  loss=%7.3f  thresholds=%v  window means=%s\n",
-			day, res.Policy.Objective, res.Policy.Thresholds, meansOf(estimators))
-	}
-	solve(day)
-
-	for ; day < horizon; day++ {
+	for day := 1; day <= horizon; day++ {
 		// Observe today's counts and run the policy.
 		counts := make([]int, numTypes)
 		for t, d := range truthAt(day) {
 			counts[t] = d.Sample(r)
-			estimators[t].Observe(counts[t])
 		}
-		sel, err := pol.Select(counts, r)
+		sel, err := a.Select(counts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if day%7 == 3 { // a mid-week peek at operations
-			fmt.Printf("day %2d: audit %d/%d alerts, spend %.0f/%.0f\n",
-				day, sel.Audited(), sum(counts), sel.Spent, pol.Budget)
+		if day%14 == 3 { // a periodic peek at operations
+			st := tr.State()
+			fmt.Printf("day %2d: audit %d/%d alerts, window means=%s (model %s)\n",
+				day, sel.Audited(), sum(counts), fmtMeans(st.WindowMeans), fmtMeans(st.ModelMeans))
 		}
-		if (day-window)%refitEvery == 0 && day > window {
-			solve(day)
+
+		// Feed the tracker; when drift fires, re-solve on the window
+		// snapshot. (A serving process does the same asynchronously —
+		// RefitOptions.AutoRefit, or the policy server's job runner.)
+		dec, err := a.Observe(counts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !dec.Drift {
+			continue
+		}
+		fmt.Printf("day %2d: drift   %s\n", day, dec.Reason)
+		out, err := a.Refit(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if out.Installed {
+			p := a.Policy()
+			fmt.Printf("day %2d: refit   loss=%7.3f  thresholds=%v  (version %d, old policy scored %.3f on the new model)\n",
+				day, p.ExpectedLoss, p.Thresholds, out.PolicyVersion, out.OldLoss)
+		} else {
+			fmt.Printf("day %2d: refit   skipped — %s\n", day, out.Reason)
 		}
 	}
+	st := tr.State()
+	fmt.Printf("done: %d periods, %d drift checks, %d firings, %d installs (serving version %d)\n",
+		st.Periods, st.Checks, st.Fires, st.Installs, a.PolicyVersion())
 }
 
-// buildGame assembles a small insider-threat game from the current
-// workload snapshots.
-func buildGame(est []*auditgame.StreamEstimator) *auditgame.Game {
+// buildGame assembles a small insider-threat game over the given count
+// model.
+func buildGame(model []auditgame.Distribution) *auditgame.Game {
 	g := &auditgame.Game{
 		Entities:      []auditgame.Entity{{Name: "insider", PAttack: 0.5}},
 		Victims:       []string{"db-a", "db-b", "db-c"},
@@ -102,12 +124,8 @@ func buildGame(est []*auditgame.StreamEstimator) *auditgame.Game {
 	benefits := []float64{6, 7, 9}
 	var attacks []auditgame.Attack
 	for t := 0; t < numTypes; t++ {
-		d, err := est[t].SnapshotGaussian(0.995)
-		if err != nil {
-			log.Fatal(err)
-		}
 		g.Types = append(g.Types, auditgame.AlertType{
-			Name: fmt.Sprintf("type-%d", t+1), Cost: 1, Dist: d,
+			Name: fmt.Sprintf("type-%d", t+1), Cost: 1, Dist: model[t],
 		})
 		attacks = append(attacks, auditgame.DeterministicAttack(numTypes, t, benefits[t], 10, 1))
 	}
@@ -115,13 +133,13 @@ func buildGame(est []*auditgame.StreamEstimator) *auditgame.Game {
 	return g
 }
 
-func meansOf(est []*auditgame.StreamEstimator) string {
+func fmtMeans(ms []float64) string {
 	s := "["
-	for t, e := range est {
-		if t > 0 {
+	for i, m := range ms {
+		if i > 0 {
 			s += " "
 		}
-		s += fmt.Sprintf("%.1f", e.Mean())
+		s += fmt.Sprintf("%.1f", m)
 	}
 	return s + "]"
 }

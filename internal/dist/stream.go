@@ -3,6 +3,7 @@ package dist
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // StreamEstimator maintains a sliding-window model of one alert type's
@@ -10,8 +11,15 @@ import (
 // distribution as audit days accumulate (the practical answer to the
 // paper's known-F_t assumption of §II-A). Observations beyond the
 // window evict the oldest, so the model tracks drift with bounded
-// memory. It is not safe for concurrent use.
+// memory.
+//
+// It is safe for concurrent use: the serving path observes live counts
+// while the refit pipeline snapshots the window, so every method takes
+// the estimator's mutex. The critical sections are a ring-buffer write
+// (Observe) or one pass over the window (the statistics), so contention
+// is negligible at any plausible observation rate.
 type StreamEstimator struct {
+	mu    sync.Mutex
 	buf   []int // ring buffer of the most recent observations
 	next  int   // index the next observation overwrites
 	count int   // observations held, ≤ len(buf)
@@ -31,28 +39,79 @@ func (e *StreamEstimator) Observe(n int) {
 	if n < 0 {
 		n = 0
 	}
+	e.mu.Lock()
 	e.buf[e.next] = n
 	e.next = (e.next + 1) % len(e.buf)
 	if e.count < len(e.buf) {
 		e.count++
 	}
+	e.mu.Unlock()
 }
 
+// Window returns the configured window size in periods.
+func (e *StreamEstimator) Window() int { return len(e.buf) }
+
 // Len returns the number of observations currently in the window.
-func (e *StreamEstimator) Len() int { return e.count }
+func (e *StreamEstimator) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.count
+}
 
 // Mean returns the mean of the windowed observations, or 0 before any
-// observation. The window is small, so recomputing on demand is cheaper
-// than fighting the rounding drift of incremental sums.
+// observation.
 func (e *StreamEstimator) Mean() float64 {
+	mean, _, _ := e.Stats()
+	return mean
+}
+
+// Stats returns the window's sample mean, sample (n−1) standard
+// deviation, and fill in one consistent snapshot — the tuple drift
+// detectors consume, taken under one lock so a concurrent Observe can
+// never interleave between the moments. Before any observation it
+// returns (0, 0, 0). The window is small, so recomputing on demand is
+// cheaper than fighting the rounding drift of incremental sums.
+func (e *StreamEstimator) Stats() (mean, std float64, n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.statsLocked()
+}
+
+// statsLocked computes the window statistics. Callers hold e.mu.
+func (e *StreamEstimator) statsLocked() (mean, std float64, n int) {
 	if e.count == 0 {
-		return 0
+		return 0, 0, 0
 	}
 	sum := 0
-	for _, n := range e.buf[:e.count] {
-		sum += n
+	for _, v := range e.buf[:e.count] {
+		sum += v
 	}
-	return float64(sum) / float64(e.count)
+	mean = float64(sum) / float64(e.count)
+	var ss float64
+	for _, v := range e.buf[:e.count] {
+		d := float64(v) - mean
+		ss += d * d
+	}
+	if e.count > 1 {
+		std = math.Sqrt(ss / float64(e.count-1))
+	}
+	return mean, std, e.count
+}
+
+// SnapshotSpec freezes the window into the serializable description of
+// a discretized Gaussian at the given two-sided coverage — the form the
+// refit pipeline persists and rebuilds games from (a constant window
+// degenerates to a point mass via Spec.Build's std = 0 path). It errors
+// if nothing has been observed yet.
+func (e *StreamEstimator) SnapshotSpec(coverage float64) (Spec, error) {
+	if !(coverage > 0 && coverage < 1) {
+		return Spec{}, fmt.Errorf("dist: coverage %v must be in (0, 1)", coverage)
+	}
+	mean, std, n := e.Stats()
+	if n == 0 {
+		return Spec{}, fmt.Errorf("dist: stream estimator has no observations")
+	}
+	return Spec{Kind: "gaussian", Mean: mean, Std: std, Coverage: coverage}, nil
 }
 
 // SnapshotGaussian freezes the window into a discretized Gaussian at
@@ -60,21 +119,9 @@ func (e *StreamEstimator) Mean() float64 {
 // (a single observation, or identical ones, yield a point mass). It
 // errors if nothing has been observed yet.
 func (e *StreamEstimator) SnapshotGaussian(coverage float64) (Distribution, error) {
-	if e.count == 0 {
-		return nil, fmt.Errorf("dist: stream estimator has no observations")
+	spec, err := e.SnapshotSpec(coverage)
+	if err != nil {
+		return nil, err
 	}
-	if !(coverage > 0 && coverage < 1) {
-		return nil, fmt.Errorf("dist: coverage %v must be in (0, 1)", coverage)
-	}
-	mean := e.Mean()
-	var ss float64
-	for _, n := range e.buf[:e.count] {
-		d := float64(n) - mean
-		ss += d * d
-	}
-	std := 0.0
-	if e.count > 1 {
-		std = math.Sqrt(ss / float64(e.count-1))
-	}
-	return newGaussian(mean, std, coverage)
+	return spec.Build()
 }

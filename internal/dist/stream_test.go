@@ -1,0 +1,133 @@
+package dist
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestStreamEstimatorStats(t *testing.T) {
+	e, err := NewStreamEstimator(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean, std, n := e.Stats(); mean != 0 || std != 0 || n != 0 {
+		t.Fatalf("empty Stats() = (%v, %v, %d), want zeros", mean, std, n)
+	}
+	for _, v := range []int{2, 4, 4, 4, 5, 5, 7, 9} {
+		e.Observe(v)
+	}
+	mean, std, n := e.Stats()
+	if n != 8 {
+		t.Fatalf("n = %d, want 8", n)
+	}
+	if mean != 5 {
+		t.Fatalf("mean = %v, want 5", mean)
+	}
+	// Sample variance of the classic 2,4,4,4,5,5,7,9 set is 32/7.
+	if want := math.Sqrt(32.0 / 7); math.Abs(std-want) > 1e-12 {
+		t.Fatalf("std = %v, want %v", std, want)
+	}
+	if e.Window() != 8 {
+		t.Fatalf("Window() = %d, want 8", e.Window())
+	}
+}
+
+func TestStreamEstimatorSnapshotSpec(t *testing.T) {
+	e, err := NewStreamEstimator(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SnapshotSpec(0.995); err == nil {
+		t.Fatal("SnapshotSpec on an empty window should fail")
+	}
+	for _, v := range []int{5, 7, 6, 6} {
+		e.Observe(v)
+	}
+	if _, err := e.SnapshotSpec(1.5); err == nil {
+		t.Fatal("SnapshotSpec should reject coverage outside (0,1)")
+	}
+	spec, err := e.SnapshotSpec(0.995)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Kind != "gaussian" || spec.Mean != 6 || spec.Coverage != 0.995 {
+		t.Fatalf("spec = %+v, want gaussian mean 6 coverage 0.995", spec)
+	}
+	// The spec must rebuild into the same model SnapshotGaussian returns.
+	built, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := e.SnapshotGaussian(0.995)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blo, bhi := built.Support()
+	dlo, dhi := direct.Support()
+	if blo != dlo || bhi != dhi || built.Mean() != direct.Mean() {
+		t.Fatalf("Spec.Build support [%d,%d] mean %v != SnapshotGaussian [%d,%d] mean %v",
+			blo, bhi, built.Mean(), dlo, dhi, direct.Mean())
+	}
+
+	// A constant window snapshots to a point mass.
+	c, err := NewStreamEstimator(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Observe(4)
+	c.Observe(4)
+	d, err := c.SnapshotGaussian(0.995)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo, hi := d.Support(); lo != 4 || hi != 4 {
+		t.Fatalf("constant window support [%d,%d], want point mass at 4", lo, hi)
+	}
+}
+
+// TestStreamEstimatorConcurrent hammers one estimator with concurrent
+// observers and snapshotters; run under -race (make race) it proves the
+// server ingest path can share an estimator with the refit pipeline.
+func TestStreamEstimatorConcurrent(t *testing.T) {
+	e, err := NewStreamEstimator(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Observe(3) // snapshots never see an empty window
+	const (
+		writers = 4
+		readers = 4
+		iters   = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				e.Observe((w*iters + i) % 17)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				mean, std, n := e.Stats()
+				if n < 1 || n > 32 || math.IsNaN(mean) || math.IsNaN(std) {
+					t.Errorf("inconsistent Stats() = (%v, %v, %d)", mean, std, n)
+					return
+				}
+				if i%64 == 0 {
+					if _, err := e.SnapshotGaussian(0.995); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -48,8 +48,9 @@ type SolveRequest struct {
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
 }
 
-// JobResponse describes an async solve job (POST /v1/solve returns it
-// with 202; GET /v1/solve/{id} polls it).
+// JobResponse describes an async job — a requested solve (POST
+// /v1/solve) or a drift-triggered refit; GET /v1/solve/{id} polls both
+// (the id prefix names the kind).
 type JobResponse struct {
 	V     int    `json:"v"`
 	JobID string `json:"job_id"`
@@ -57,10 +58,56 @@ type JobResponse struct {
 	Status string `json:"status"`
 	Error  string `json:"error,omitempty"`
 	// PolicyVersion is the version the solved policy was installed as,
-	// for status "done".
+	// for status "done". A done refit job with policy_version 0 was
+	// gated: the refit policy did not move enough to install (detail
+	// says why).
 	PolicyVersion  uint64  `json:"policy_version,omitempty"`
 	ExpectedLoss   float64 `json:"expected_loss,omitempty"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Detail carries the outcome explanation for refit jobs.
+	Detail string `json:"detail,omitempty"`
+}
+
+// ObserveRequest is the body of POST /v1/observe: one audit period's
+// realized per-type alert counts, index-aligned with the policy's
+// type_names — the same shape /v1/select consumes, fed to the drift
+// tracker instead of the selector.
+type ObserveRequest struct {
+	V      int   `json:"v,omitempty"`
+	Counts []int `json:"counts"`
+}
+
+// ObserveResponse reports what the drift tracker made of one observed
+// period.
+type ObserveResponse struct {
+	V int `json:"v"`
+	// Period counts observations fed to the tracker so far.
+	Period int `json:"period"`
+	// Checked reports whether the drift detector ran on this period
+	// (cadence, window fill, and hysteresis gate it); Drift whether it
+	// fired.
+	Checked bool   `json:"checked"`
+	Drift   bool   `json:"drift"`
+	Reason  string `json:"reason,omitempty"`
+	// RefitJobID is the drift-triggered background refit job launched
+	// (or already running) when Drift is true; poll it at GET
+	// /v1/solve/{id}.
+	RefitJobID string `json:"refit_job_id,omitempty"`
+}
+
+// DriftResponse is the body of GET /v1/drift: the tracker's state plus
+// serving metadata.
+type DriftResponse struct {
+	V int `json:"v"`
+	// Attached reports whether the session has a drift tracker at all.
+	Attached      bool   `json:"attached"`
+	PolicyVersion uint64 `json:"policy_version"`
+	// RefitJobID is the most recent drift-triggered refit job, if any.
+	RefitJobID string `json:"refit_job_id,omitempty"`
+	// State is the tracker's detector state: window vs model means,
+	// check/fire/install counters, hysteresis markers, and the last
+	// decision with its per-type distance scores.
+	State *auditgame.DriftState `json:"state,omitempty"`
 }
 
 // HealthResponse is the body of GET /healthz.

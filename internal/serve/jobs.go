@@ -15,8 +15,8 @@ const (
 	jobCancelled = "cancelled"
 )
 
-// job tracks one async solve: its cancel handle while running and its
-// outcome afterwards.
+// job tracks one async solve or refit: its cancel handle while running
+// and its outcome afterwards.
 type job struct {
 	id     string
 	cancel context.CancelFunc
@@ -26,6 +26,7 @@ type job struct {
 	err           string
 	policyVersion uint64
 	expectedLoss  float64
+	detail        string
 	started       time.Time
 	finished      time.Time
 }
@@ -45,10 +46,18 @@ func (j *job) snapshot() JobResponse {
 		PolicyVersion:  j.policyVersion,
 		ExpectedLoss:   j.expectedLoss,
 		ElapsedSeconds: end.Sub(j.started).Seconds(),
+		Detail:         j.detail,
 	}
 }
 
-func (j *job) finish(status, errMsg string, version uint64, loss float64) {
+// running reports whether the job has not finished yet.
+func (j *job) running() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == jobRunning
+}
+
+func (j *job) finish(status, errMsg string, version uint64, loss float64, detail string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.status != jobRunning {
@@ -58,12 +67,14 @@ func (j *job) finish(status, errMsg string, version uint64, loss float64) {
 	j.err = errMsg
 	j.policyVersion = version
 	j.expectedLoss = loss
+	j.detail = detail
 	j.finished = time.Now()
 }
 
-// jobTable is the registry behind /v1/solve. Finished jobs are kept so
-// their outcome stays pollable; a serving process runs a handful of
-// solves a day, so growth is not a concern.
+// jobTable is the registry behind /v1/solve: requested solves and
+// drift-triggered refits share it, distinguished by their id prefix.
+// Finished jobs are kept so their outcome stays pollable; a serving
+// process runs a handful of solves a day, so growth is not a concern.
 type jobTable struct {
 	mu   sync.Mutex
 	seq  int
@@ -74,12 +85,14 @@ func newJobTable() *jobTable {
 	return &jobTable{jobs: make(map[string]*job)}
 }
 
-func (t *jobTable) create(cancel context.CancelFunc) *job {
+// create registers a running job of the given kind ("solve" or
+// "refit"); the kind prefixes the id.
+func (t *jobTable) create(kind string, cancel context.CancelFunc) *job {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.seq++
 	j := &job{
-		id:      fmt.Sprintf("solve-%d", t.seq),
+		id:      fmt.Sprintf("%s-%d", kind, t.seq),
 		cancel:  cancel,
 		status:  jobRunning,
 		started: time.Now(),

@@ -3,8 +3,11 @@
 // session API. Daily alert counts go in (POST /v1/select), audit
 // selections come out; the policy artifact hot-reloads from disk (mtime
 // poll + SIGHUP) with an atomic swap, so a refreshed policy takes over
-// mid-traffic without dropping a request; and POST /v1/solve runs
-// cancellable, deadline-bounded re-solves as async jobs.
+// mid-traffic without dropping a request; POST /v1/solve runs
+// cancellable, deadline-bounded re-solves as async jobs; and when the
+// session has a drift tracker attached, POST /v1/observe feeds the
+// realized counts to it, a drift firing launches a refit on the same
+// job runner, and GET /v1/drift exposes the detector state.
 package serve
 
 import (
@@ -63,6 +66,12 @@ type Server struct {
 	// Run, defaults to Background for handler-only use.
 	baseMu  sync.Mutex
 	baseCtx context.Context
+
+	// refitMu guards refitJobID, the most recent drift-triggered refit
+	// job: a drift firing while it is still running joins it instead of
+	// stacking a second solve.
+	refitMu    sync.Mutex
+	refitJobID string
 }
 
 // New validates cfg and builds the server. If cfg.PolicyPath exists, the
@@ -109,6 +118,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/select", s.handleSelect)
 	mux.HandleFunc("GET /v1/policy", s.handlePolicy)
+	mux.HandleFunc("POST /v1/observe", s.handleObserve)
+	mux.HandleFunc("GET /v1/drift", s.handleDrift)
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("GET /v1/solve/{id}", s.handleJobStatus)
 	mux.HandleFunc("DELETE /v1/solve/{id}", s.handleJobCancel)
@@ -283,34 +294,163 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		timeout = time.Duration(ts * float64(time.Second))
 	}
 
-	s.baseMu.Lock()
-	base := s.baseCtx
-	s.baseMu.Unlock()
-	var ctx context.Context
-	var cancel context.CancelFunc
-	if timeout > 0 {
-		ctx, cancel = context.WithTimeout(base, timeout)
-	} else {
-		ctx, cancel = context.WithCancel(base)
-	}
-	j := s.jobs.create(cancel)
+	ctx, cancel := s.jobContext(timeout)
+	j := s.jobs.create("solve", cancel)
 
 	go func() {
 		defer cancel()
 		res, err := s.aud.SolveDetailed(ctx)
 		switch {
 		case err == nil:
-			j.finish(jobDone, "", res.PolicyVersion, res.Policy.ExpectedLoss)
+			j.finish(jobDone, "", res.PolicyVersion, res.Policy.ExpectedLoss, "")
 			s.logf("serve: solve %s done (loss %.4f, policy version %d)", j.id, res.Policy.ExpectedLoss, res.PolicyVersion)
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			j.finish(jobCancelled, err.Error(), 0, 0)
+			j.finish(jobCancelled, err.Error(), 0, 0, "")
 			s.logf("serve: solve %s cancelled: %v", j.id, err)
 		default:
-			j.finish(jobError, err.Error(), 0, 0)
+			j.finish(jobError, err.Error(), 0, 0, "")
 			s.logf("serve: solve %s failed: %v", j.id, err)
 		}
 	}()
 	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// jobContext derives a job's context from the server's base context,
+// deadline-bounded when timeout > 0.
+func (s *Server) jobContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	s.baseMu.Lock()
+	base := s.baseCtx
+	s.baseMu.Unlock()
+	if timeout > 0 {
+		return context.WithTimeout(base, timeout)
+	}
+	return context.WithCancel(base)
+}
+
+// handleObserve feeds one period's realized counts to the drift
+// tracker. When the tracker fires, the re-solve runs as a background
+// job on the same runner /v1/solve uses, and its id is returned for
+// polling.
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req ObserveRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	dec, err := s.aud.Observe(req.Counts)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, auditgame.ErrNoTracker) {
+			// The request was fine; this server just isn't configured
+			// to track drift (-refit off).
+			status = http.StatusConflict
+		}
+		writeErr(w, status, err)
+		return
+	}
+	resp := ObserveResponse{
+		V:       APIVersion,
+		Period:  dec.Period,
+		Checked: dec.Checked,
+		Drift:   dec.Drift,
+		Reason:  dec.Reason,
+	}
+	if dec.Drift {
+		resp.RefitJobID = s.startRefit()
+		s.logf("serve: drift fired at period %d (%s), refit job %s", dec.Period, dec.Reason, resp.RefitJobID)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// startRefit launches the drift-triggered re-solve as an async job and
+// returns its id. Single-flight: a firing that lands while a refit job
+// is still running joins that job.
+func (s *Server) startRefit() string {
+	s.refitMu.Lock()
+	defer s.refitMu.Unlock()
+	if s.refitJobID != "" {
+		if j, ok := s.jobs.get(s.refitJobID); ok && j.running() {
+			return s.refitJobID
+		}
+	}
+	ctx, cancel := s.jobContext(s.cfg.SolveTimeout)
+	j := s.jobs.create("refit", cancel)
+	s.refitJobID = j.id
+	go func() {
+		defer cancel()
+		out, err := s.aud.Refit(ctx)
+		switch {
+		case err == nil && out.Installed:
+			j.finish(jobDone, "", out.PolicyVersion, out.NewLoss, out.Reason)
+			s.logf("serve: refit %s installed policy version %d (loss %.4f)", j.id, out.PolicyVersion, out.NewLoss)
+			s.persistCurrentPolicy()
+		case err == nil:
+			j.finish(jobDone, "", 0, out.NewLoss, out.Reason)
+			s.logf("serve: refit %s kept the current policy: %s", j.id, out.Reason)
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			j.finish(jobCancelled, err.Error(), 0, 0, "")
+			s.logf("serve: refit %s cancelled: %v", j.id, err)
+		default:
+			j.finish(jobError, err.Error(), 0, 0, "")
+			s.logf("serve: refit %s failed: %v", j.id, err)
+		}
+	}()
+	return j.id
+}
+
+// persistCurrentPolicy writes the serving policy to the configured
+// artifact path (atomic create + rename), so a SIGHUP reload or a
+// process restart does not revert the server to a stale pre-refit
+// artifact. The watch fingerprint is updated under reloadMu so the
+// mtime poll does not re-install our own write as yet another version.
+// Failures are logged, never fatal: the refit is already serving from
+// memory.
+func (s *Server) persistCurrentPolicy() {
+	if s.cfg.PolicyPath == "" {
+		return
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	p, version := s.aud.CurrentPolicy()
+	if p == nil {
+		return
+	}
+	tmp := s.cfg.PolicyPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		s.logf("serve: persisting refit policy: %v", err)
+		return
+	}
+	err = p.Save(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, s.cfg.PolicyPath)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		s.logf("serve: persisting refit policy: %v", err)
+		return
+	}
+	if fi, err := os.Stat(s.cfg.PolicyPath); err == nil {
+		s.lastMod, s.lastSize = fi.ModTime(), fi.Size()
+	}
+	s.logf("serve: refit policy (version %d) persisted to %s", version, s.cfg.PolicyPath)
+}
+
+// handleDrift reports the drift tracker's state.
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	_, version := s.aud.CurrentPolicy()
+	resp := DriftResponse{V: APIVersion, PolicyVersion: version}
+	if tr := s.aud.Tracker(); tr != nil {
+		resp.Attached = true
+		st := tr.State()
+		resp.State = &st
+		s.refitMu.Lock()
+		resp.RefitJobID = s.refitJobID
+		s.refitMu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
@@ -360,6 +500,8 @@ func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	case *SelectRequest:
 		v = req.V
 	case *SolveRequest:
+		v = req.V
+	case *ObserveRequest:
 		v = req.V
 	}
 	if v > APIVersion {

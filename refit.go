@@ -1,0 +1,307 @@
+package auditgame
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"auditgame/internal/refit"
+)
+
+// Streaming refit: the online answer to the paper's known-F_t
+// assumption (§II-A). A Tracker watches the live alert counts through
+// sliding windows; when the workload drifts away from the model the
+// installed policy was solved against, the Auditor re-solves on the
+// window snapshot and — if the refit policy moves the loss enough —
+// installs it through the same atomic swap every other install uses.
+
+// Tracker tracks a deployment's workload: one sliding-window estimator
+// per alert type, a pluggable drift detector, and hysteresis. Safe for
+// concurrent use.
+type Tracker = refit.Tracker
+
+// TrackerConfig tunes a Tracker (window, cadence, thresholds via a
+// custom detector, hysteresis). The zero value picks defaults.
+type TrackerConfig = refit.Config
+
+// DriftDecision is the outcome of one observed period: whether drift
+// fired, and why or why not.
+type DriftDecision = refit.Decision
+
+// DriftState is a Tracker's serializable state, as reported by the
+// policy server's GET /v1/drift.
+type DriftState = refit.State
+
+// DriftDetector is the pluggable drift-decision interface; DriftVerdict,
+// DriftTypeWindow, and DriftScore are its vocabulary. The default is
+// the two-stage distance detector (z-test fast path, total-variation
+// decision; see refit.NewDistanceDetector).
+type (
+	DriftDetector   = refit.Detector
+	DriftVerdict    = refit.Verdict
+	DriftTypeWindow = refit.TypeWindow
+	DriftScore      = refit.TypeScore
+)
+
+// DistanceDetector is the default two-stage drift detector: a
+// mean/variance z-test fast path that escalates to a total-variation /
+// KL comparison of the installed model's PMFs against the window
+// snapshot. Adjust its exported thresholds before handing it to
+// TrackerConfig.Detector.
+type DistanceDetector = refit.DistanceDetector
+
+// NewDistanceDetector returns a DistanceDetector with the default
+// thresholds (z 3, variance ratio 4, total variation 0.2).
+func NewDistanceDetector() *DistanceDetector { return refit.NewDistanceDetector() }
+
+// NewTracker creates a drift tracker over numTypes alert types.
+func NewTracker(numTypes int, cfg TrackerConfig) (*Tracker, error) {
+	return refit.New(numTypes, cfg)
+}
+
+// ErrNoTracker is returned by Observe/Refit when no tracker is attached
+// to the session.
+var ErrNoTracker = errors.New("auditgame: no tracker attached; call AttachTracker first")
+
+// ErrRefitInFlight is returned by Refit when another refit is already
+// solving on this session; drift firings are single-flighted, not
+// queued.
+var ErrRefitInFlight = errors.New("auditgame: a refit is already in flight")
+
+// RefitOptions tunes the session's drift-triggered refit behaviour.
+type RefitOptions struct {
+	// MinLossDelta is the second-stage "policy-moved-enough" gate: the
+	// refit policy must improve on the currently-installed policy —
+	// both evaluated under the refit model — by more than this relative
+	// margin to be installed. Zero requires any strict improvement;
+	// negative installs unconditionally.
+	MinLossDelta float64
+	// AutoRefit makes Observe launch a background Refit when drift
+	// fires. Leave it false when a serving layer owns refit scheduling
+	// (internal/serve runs refits as visible jobs instead).
+	AutoRefit bool
+	// Context parents auto-refit solves; nil means context.Background().
+	// Cancel it to stop in-flight auto-refits.
+	Context context.Context
+	// OnRefit, when set, receives every auto-refit outcome (including
+	// errors). Called from the refit goroutine.
+	OnRefit func(*RefitOutcome, error)
+}
+
+// RefitOutcome reports one drift-triggered re-solve.
+type RefitOutcome struct {
+	// Installed says the refit policy passed the gate and is now the
+	// session's current policy.
+	Installed bool `json:"installed"`
+	// PolicyVersion is the version the refit policy was installed as
+	// (0 when not installed).
+	PolicyVersion uint64 `json:"policy_version,omitempty"`
+	// OldLoss is the previously-installed policy's expected loss
+	// evaluated under the refit (window-snapshot) model; NewLoss is the
+	// refit policy's. Comparing both under the same fresh model is what
+	// makes the gate meaningful.
+	OldLoss float64 `json:"old_loss"`
+	NewLoss float64 `json:"new_loss"`
+	// Improvement is the relative loss improvement (OldLoss − NewLoss)
+	// / |OldLoss| the gate tested.
+	Improvement float64 `json:"improvement"`
+	// Reason says why the policy was or was not installed.
+	Reason string `json:"reason"`
+}
+
+// trackerBinding pairs the attached tracker with its options in one
+// atomic cell.
+type trackerBinding struct {
+	tr   *Tracker
+	opts RefitOptions
+}
+
+// AttachTracker binds a drift tracker to the session and seeds its
+// reference model from the bound game's count distributions. The game
+// is built if it has not been yet, so a policy-only session (nothing to
+// re-solve) is rejected here rather than at the first drift firing.
+func (a *Auditor) AttachTracker(tr *Tracker, opts RefitOptions) error {
+	if tr == nil {
+		return fmt.Errorf("auditgame: AttachTracker needs a tracker")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.ensureGame(); err != nil {
+		return fmt.Errorf("auditgame: AttachTracker: %w", err)
+	}
+	if tr.NumTypes() != a.game.NumTypes() {
+		return fmt.Errorf("auditgame: tracker tracks %d alert types but the bound game has %d",
+			tr.NumTypes(), a.game.NumTypes())
+	}
+	if opts.Context == nil {
+		opts.Context = context.Background()
+	}
+	// Reject a duplicate attach before touching the tracker, so a
+	// failed call never disturbs the live tracker's reference model or
+	// cooldown; and seed the reference model before publishing the
+	// binding, so a seeding failure leaves the session cleanly detached
+	// and the call retryable. Writers are serialized by a.mu, making
+	// the check-then-swap safe.
+	if a.refitBinding.Load() != nil {
+		return fmt.Errorf("auditgame: a tracker is already attached to this session")
+	}
+	_, version := a.CurrentPolicy()
+	if err := tr.SetInstalled(a.game.Dists(), version); err != nil {
+		return err
+	}
+	if !a.refitBinding.CompareAndSwap(nil, &trackerBinding{tr: tr, opts: opts}) {
+		return fmt.Errorf("auditgame: a tracker is already attached to this session")
+	}
+	return nil
+}
+
+// Tracker returns the attached drift tracker, or nil.
+func (a *Auditor) Tracker() *Tracker {
+	if b := a.refitBinding.Load(); b != nil {
+		return b.tr
+	}
+	return nil
+}
+
+// Observe feeds one audit period's realized per-type counts to the
+// attached tracker. When drift fires and RefitOptions.AutoRefit is set,
+// a background Refit is launched (single-flight; its outcome goes to
+// RefitOptions.OnRefit). Safe for concurrent use and never blocked by
+// an in-flight solve — serving layers call it on the ingest path.
+func (a *Auditor) Observe(counts []int) (DriftDecision, error) {
+	b := a.refitBinding.Load()
+	if b == nil {
+		return DriftDecision{}, ErrNoTracker
+	}
+	dec, err := b.tr.Observe(counts)
+	if err != nil {
+		return dec, err
+	}
+	if dec.Drift && b.opts.AutoRefit && !a.refitting.Load() {
+		go func() {
+			out, rerr := a.Refit(b.opts.Context)
+			if b.opts.OnRefit != nil {
+				b.opts.OnRefit(out, rerr)
+			}
+		}()
+	}
+	return dec, nil
+}
+
+// Refit re-solves the session against the tracker's current window
+// snapshot and applies the two-stage install gate: the solve itself ran
+// because the model drifted (stage one, the tracker), and the result is
+// installed only if the policy moved enough to matter (stage two) —
+// the refit policy must beat the currently-installed one, both
+// evaluated under the refit model, by more than RefitOptions.
+// MinLossDelta. An installed refit swaps the session's game, instance,
+// and policy atomically (Select never blocks, versions stay monotonic)
+// and resets the tracker's reference model, starting its cooldown.
+//
+// The solve honours ctx like Solve does: cancellation lands within one
+// pricing round and installs nothing.
+func (a *Auditor) Refit(ctx context.Context) (*RefitOutcome, error) {
+	b := a.refitBinding.Load()
+	if b == nil {
+		return nil, ErrNoTracker
+	}
+	if !a.refitting.CompareAndSwap(false, true) {
+		return nil, ErrRefitInFlight
+	}
+	defer a.refitting.Store(false)
+
+	specs, err := b.tr.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.ensureInstance(); err != nil {
+		return nil, err
+	}
+	if len(specs) != len(a.game.Types) {
+		return nil, fmt.Errorf("auditgame: refit snapshot has %d types, game has %d", len(specs), len(a.game.Types))
+	}
+
+	// The refit game is the bound game with the count model replaced by
+	// the window snapshot; everything strategic (entities, attacks,
+	// costs) is unchanged.
+	ng := *a.game
+	ng.Types = append([]AlertType(nil), a.game.Types...)
+	newDists := make([]Distribution, len(specs))
+	for i, s := range specs {
+		// Built directly, not via dist.Shared: snapshot specs carry
+		// fitted float statistics that essentially never repeat, so
+		// interning them would grow the process-global table cache on
+		// every refit for the life of a serving process.
+		d, err := s.Build()
+		if err != nil {
+			return nil, fmt.Errorf("auditgame: refit model for type %d: %w", i, err)
+		}
+		ng.Types[i].Dist = d
+		newDists[i] = d
+	}
+	nin, err := NewInstance(&ng, a.budget, a.cfg.Source)
+	if err != nil {
+		return nil, err
+	}
+
+	thresholds := a.cfg.Thresholds
+	if thresholds == nil {
+		thresholds = ng.ThresholdCaps()
+	}
+	res, err := a.solveOn(ctx, nin, thresholds)
+	if err != nil {
+		return nil, err
+	}
+
+	// Both sides of the gate go through the same full best-response
+	// evaluation: a truncated column-generation solve's objective is a
+	// restricted-master bound that can understate the candidate's true
+	// loss, so comparing it against the incumbent's Loss would bias the
+	// gate toward installing.
+	out := &RefitOutcome{NewLoss: Loss(nin, res.Mixed)}
+	install := true
+	if cur, _ := a.CurrentPolicy(); cur != nil {
+		out.OldLoss = Loss(nin, mixedFromPolicy(cur))
+		out.Improvement = (out.OldLoss - out.NewLoss) / math.Max(math.Abs(out.OldLoss), 1e-9)
+		if gate := b.opts.MinLossDelta; gate >= 0 && out.Improvement <= gate {
+			install = false
+			out.Reason = fmt.Sprintf("policy moved too little: relative improvement %.4f ≤ gate %.4f", out.Improvement, gate)
+		}
+	}
+	if install {
+		p := PolicyFrom(&ng, a.budget, res.Mixed)
+		a.game = &ng
+		a.in = nin
+		a.seed = ng.ThresholdCaps()
+		a.built.Store(&ng)
+		// install also resets the tracker's reference to newDists under
+		// the same critical section, so a concurrent hot reload can
+		// never interleave between the policy swap and the reference
+		// reset.
+		v := a.install(p, newDists)
+		out.Installed = true
+		out.PolicyVersion = v
+		out.Reason = fmt.Sprintf("installed as version %d: loss %.4f → %.4f under the refit model", v, out.OldLoss, out.NewLoss)
+	}
+	return out, nil
+}
+
+// mixedFromPolicy rebuilds the solver-facing mixed strategy from a
+// deployable artifact, so an installed policy can be re-evaluated under
+// a refit model.
+func mixedFromPolicy(p *Policy) *MixedPolicy {
+	m := &MixedPolicy{
+		Q:          make([]Ordering, len(p.Orderings)),
+		Po:         append([]float64(nil), p.Probs...),
+		Thresholds: append(Thresholds(nil), p.Thresholds...),
+		Objective:  p.ExpectedLoss,
+	}
+	for i, o := range p.Orderings {
+		m.Q[i] = append(Ordering(nil), o...)
+	}
+	return m
+}
