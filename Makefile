@@ -28,20 +28,23 @@ race:
 
 # PR names the benchmark artifact (BENCH_$(PR).json); override it when
 # cutting a new baseline, e.g. `make bench PR=PR6`.
-PR ?= PR5
+PR ?= PR6
 
 # bench runs the detection-probability, paper-table, scaled-workload,
-# policy-server, and drift-tracker benchmarks and emits BENCH_$(PR).json
-# (ns/op, B/op, allocs/op plus custom metrics) via cmd/benchjson. Pal,
-# serve, and tracker benchmarks get enough iterations for stable ns/op
-# and req/s; the table and scaled benchmarks are single-shot because
-# each regenerates a full experiment.
+# warm-refit, policy-server, and drift-tracker benchmarks and emits
+# BENCH_$(PR).json (ns/op, B/op, allocs/op plus custom metrics) via
+# cmd/benchjson. Pal, serve, and tracker benchmarks get enough
+# iterations for stable ns/op and req/s; the table and scaled
+# benchmarks are single-shot because each regenerates a full
+# experiment; the warm-refit pairs get 10 iterations so the cold/warm
+# ns/op ratio is stable.
 bench:
 	$(GO) test -run=NONE -bench='BenchmarkPal' -benchmem -benchtime=200x . > bench.out
 	$(GO) test -run=NONE -bench='BenchmarkServeSelect' -benchmem -benchtime=2000x . >> bench.out
 	$(GO) test -run=NONE -bench='BenchmarkTrackerObserve' -benchmem -benchtime=500000x . >> bench.out
 	$(GO) test -run=NONE -bench='BenchmarkTable' -benchmem -benchtime=1x . >> bench.out
 	$(GO) test -run=NONE -bench='BenchmarkScaledCGGS' -benchmem -benchtime=1x . >> bench.out
+	$(GO) test -run=NONE -bench='BenchmarkWarmRefit' -benchmem -benchtime=10x . >> bench.out
 	@cat bench.out
 	$(GO) run ./cmd/benchjson < bench.out > BENCH_$(PR).json.tmp
 	mv BENCH_$(PR).json.tmp BENCH_$(PR).json

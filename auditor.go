@@ -106,6 +106,11 @@ type SolveResult struct {
 	ISHM *ISHMResult
 	// BruteForce carries the grid accounting for MethodBruteForce.
 	BruteForce *BruteForceResult
+	// Warm carries the warm-start accounting for MethodCGGS solves —
+	// whether the solve reused the session's persisted column pool and
+	// basis, and how much re-pricing the drift screen saved. Nil for
+	// other methods.
+	Warm *WarmStats
 	// PolicyVersion is the session version this solve's policy was
 	// installed as. Read it from here rather than Auditor.PolicyVersion,
 	// which may already reflect a later reload.
@@ -130,6 +135,15 @@ type Auditor struct {
 	in     *Instance
 	seed   Thresholds // the workload's threshold seed (per-type caps)
 	budget float64
+
+	// solveState persists the column-generation solve state — column
+	// pool, restricted-master basis, cached reduced costs — across
+	// Solve/Refit when the session runs MethodCGGS. Solve replaces it
+	// cold; Refit warm-starts from it when the refit instance is
+	// structurally compatible (same budget, type set, entity classes,
+	// thresholds) and falls back to a cold solve inside SolveState
+	// otherwise. Guarded by mu like every other solve-path field.
+	solveState *solver.SolveState
 
 	// built re-publishes the game pointer once constructed, so readers
 	// that only need its shape (SetPolicy's compatibility check, Game's
@@ -282,7 +296,7 @@ func (a *Auditor) SolveDetailed(ctx context.Context) (*SolveResult, error) {
 		thresholds = a.seed
 	}
 
-	res, err := a.solveOn(ctx, a.in, thresholds)
+	res, err := a.solveOn(ctx, a.in, thresholds, nil, false)
 	if err != nil {
 		return nil, err
 	}
@@ -296,7 +310,15 @@ func (a *Auditor) SolveDetailed(ctx context.Context) (*SolveResult, error) {
 // SolveDetailed (which solves the bound instance and installs) and Refit
 // (which solves a candidate instance and gates the install). Callers
 // hold a.mu.
-func (a *Auditor) solveOn(ctx context.Context, in *Instance, thresholds Thresholds) (*SolveResult, error) {
+//
+// warm asks MethodCGGS to re-solve from the session's persisted
+// SolveState instead of cold; tv optionally carries the drift detector's
+// per-type total-variation distances between the state's model and in's,
+// which screens how much of the column pool must be re-priced up front
+// (nil reuses the pool unscreened). Both are ignored by the other
+// methods, and SolveState itself falls back to a cold solve when the
+// instance is structurally incompatible with the persisted state.
+func (a *Auditor) solveOn(ctx context.Context, in *Instance, thresholds Thresholds, tv []float64, warm bool) (*SolveResult, error) {
 	res := &SolveResult{}
 	switch a.cfg.Method {
 	case "", MethodISHM:
@@ -322,15 +344,25 @@ func (a *Auditor) solveOn(ctx context.Context, in *Instance, thresholds Threshol
 		}
 		res.ISHM, res.Mixed = r, r.Policy
 	case MethodCGGS:
-		m, err := solver.CGGS(ctx, in, thresholds, solver.CGGSOptions{
-			Initial:          a.cfg.CGGS.Initial,
-			MaxColumns:       a.cfg.CGGS.MaxColumns,
-			ExhaustiveOracle: a.cfg.CGGS.ExhaustiveOracle,
-		})
+		if a.solveState == nil {
+			a.solveState = solver.NewSolveState(solver.CGGSOptions{
+				Initial:          a.cfg.CGGS.Initial,
+				MaxColumns:       a.cfg.CGGS.MaxColumns,
+				ExhaustiveOracle: a.cfg.CGGS.ExhaustiveOracle,
+			})
+		}
+		var m *MixedPolicy
+		var err error
+		if warm {
+			m, err = a.solveState.Refit(ctx, in, thresholds, tv)
+		} else {
+			m, err = a.solveState.Solve(ctx, in, thresholds)
+		}
 		if err != nil {
 			return nil, err
 		}
-		res.Mixed = m
+		ws := a.solveState.WarmStats()
+		res.Mixed, res.Warm = m, &ws
 	case MethodExact:
 		m, err := solver.Exact(ctx, in, thresholds)
 		if err != nil {

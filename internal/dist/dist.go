@@ -324,6 +324,30 @@ func newPoisson(lambda, coverage float64) (Distribution, error) {
 	return newTable(0, weights), nil
 }
 
+// NewSoliton returns the ideal soliton distribution over {1, …, n}:
+// P[Z = 1] = 1/n and P[Z = k] = 1/(k(k−1)) for k ≥ 2. Its ~k⁻² tail
+// makes it the heavy-tailed stress model for alert counts — most
+// periods are quiet but the support stretches to n with non-negligible
+// mass, the regime where a mean/variance drift detector and a
+// truncated-Gaussian count model are both at their weakest. It panics
+// unless 1 ≤ n ≤ the support cap.
+func NewSoliton(n int) Distribution { return must(newSoliton(n)) }
+
+func newSoliton(n int) (Distribution, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: soliton support size %d must be ≥ 1", n)
+	}
+	if n > maxSupportBins {
+		return nil, fmt.Errorf("dist: soliton support size %d exceeds %d bins", n, maxSupportBins)
+	}
+	weights := make([]float64, n)
+	weights[0] = 1 / float64(n)
+	for k := 2; k <= n; k++ {
+		weights[k-1] = 1 / (float64(k) * float64(k-1))
+	}
+	return newTable(1, weights), nil
+}
+
 // normCDF is the standard normal CDF Φ(x).
 func normCDF(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
 

@@ -186,6 +186,7 @@ func TestSpecRoundTrip(t *testing.T) {
 		{Kind: "poisson", Lambda: 3, Coverage: 0.999},
 		{Kind: "empirical", Counts: []int{4, 6, 5, 5}},
 		{Kind: "point", N: 2},
+		{Kind: "soliton", N: 40},
 	}
 	for _, s := range specs {
 		raw, err := json.Marshal(s)
@@ -217,6 +218,48 @@ func TestSpecRoundTrip(t *testing.T) {
 				t.Fatalf("%s: PMF(%d) changed across round trip", s.Kind, n)
 			}
 		}
+	}
+}
+
+func TestSoliton(t *testing.T) {
+	// The ideal soliton over {1..n}: P[1] = 1/n, P[k] = 1/(k(k−1)).
+	// These weights already sum to 1 (telescoping), so the table's
+	// normalization must be the identity and the PMF exact.
+	const n = 50
+	d := NewSoliton(n)
+	if lo, hi := d.Support(); lo != 1 || hi != n {
+		t.Fatalf("soliton(%d) support [%d, %d], want [1, %d]", n, lo, hi, n)
+	}
+	if got := d.PMF(1); math.Abs(got-1.0/n) > 1e-12 {
+		t.Fatalf("PMF(1) = %v, want 1/%d", got, n)
+	}
+	for _, k := range []int{2, 3, 10, n} {
+		want := 1 / (float64(k) * float64(k-1))
+		if got := d.PMF(k); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("PMF(%d) = %v, want %v", k, got, want)
+		}
+	}
+	// Heavy tail: the upper half of the support still holds ~1/n-scale
+	// mass (Σ_{k>n/2} 1/(k(k−1)) ≈ 2/n), unlike any truncated gaussian
+	// at matching mean.
+	var tail float64
+	for k := n/2 + 1; k <= n; k++ {
+		tail += d.PMF(k)
+	}
+	if tail < 1.0/n {
+		t.Fatalf("upper-half tail mass %v, want ≥ %v", tail, 1.0/n)
+	}
+	// Mean of the ideal soliton is H_n (the harmonic number): 1/n·1 +
+	// Σ_{k=2..n} k/(k(k−1)) = 1/n + Σ 1/(k−1).
+	want := 1.0 / n
+	for k := 2; k <= n; k++ {
+		want += 1 / float64(k-1)
+	}
+	if math.Abs(d.Mean()-want) > 1e-9 {
+		t.Fatalf("soliton(%d) mean = %v, want H-based %v", n, d.Mean(), want)
+	}
+	if p := NewSoliton(1); p.Mean() != 1 || p.PMF(1) != 1 {
+		t.Fatalf("soliton(1) is not the point mass at 1")
 	}
 }
 
@@ -278,6 +321,9 @@ func TestSpecBuildErrors(t *testing.T) {
 		{Kind: "empirical"},
 		{Kind: "empirical", Counts: []int{1, -2}},
 		{Kind: "point", N: -1},
+		{Kind: "soliton"},
+		{Kind: "soliton", N: -3},
+		{Kind: "soliton", N: maxSupportBins + 1},
 	}
 	for _, s := range bad {
 		if _, err := s.Build(); err == nil {

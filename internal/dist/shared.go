@@ -82,7 +82,7 @@ func (s Spec) canonicalKey() string {
 		f(s.Lambda)
 		sep()
 		f(s.Coverage)
-	case "point":
+	case "point", "soliton":
 		sep()
 		b = strconv.AppendInt(b, int64(s.N), 10)
 	}

@@ -13,8 +13,10 @@ import "fmt"
 //	{"kind": "poisson",   "lambda": 3, "coverage": 0.999}
 //	{"kind": "empirical", "counts": [4, 6, 5, 5]}
 //	{"kind": "point",     "n": 2}
+//	{"kind": "soliton",   "n": 40}
 type Spec struct {
-	// Kind is one of "gaussian", "poisson", "empirical", "point".
+	// Kind is one of "gaussian", "poisson", "empirical", "point",
+	// "soliton".
 	Kind string `json:"kind"`
 	// Mean and Std parameterize a gaussian.
 	Mean float64 `json:"mean,omitempty"`
@@ -28,7 +30,8 @@ type Spec struct {
 	Lambda float64 `json:"lambda,omitempty"`
 	// Counts are the empirical observations.
 	Counts []int `json:"counts,omitempty"`
-	// N is the point-mass location.
+	// N is the point-mass location (kind "point") or the support size
+	// (kind "soliton").
 	N int `json:"n,omitempty"`
 }
 
@@ -50,6 +53,8 @@ func (s Spec) Build() (Distribution, error) {
 			return nil, fmt.Errorf("dist: point mass n %d must be ≥ 0", s.N)
 		}
 		return NewPoint(s.N), nil
+	case "soliton":
+		return newSoliton(s.N)
 	case "":
 		return nil, fmt.Errorf("dist: spec is missing a kind")
 	default:

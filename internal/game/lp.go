@@ -23,6 +23,10 @@ type LPResult struct {
 	// + SimplexDual).
 	RowDuals    [][]float64
 	SimplexDual float64
+	// Basis is the optimal basis in game-logical coordinates, reusable
+	// as the warm start of a later SolveFixedWarm over a grown ordering
+	// pool or a refit instance with the same class structure.
+	Basis *MasterBasis
 	// Iterations counts simplex pivots.
 	Iterations int
 }
@@ -35,6 +39,16 @@ type LPResult struct {
 //	     u_e ≥ 0                              (when AllowNoAttack)
 //	     Σ_o p_o = 1,  p_o ≥ 0,  u_e free
 func (in *Instance) SolveFixed(Q []Ordering, b Thresholds) (*LPResult, error) {
+	return in.SolveFixedWarm(Q, b, nil)
+}
+
+// SolveFixedWarm is SolveFixed with an advisory warm-start basis from a
+// previous solve — typically LPResult.Basis of the last pricing round
+// (the pool grew by one column) or of the pre-refit master (same class
+// structure, perturbed count model). A nil, stale, or structurally
+// incompatible basis degrades to the cold solve; it never changes the
+// result, only the pivot count.
+func (in *Instance) SolveFixedWarm(Q []Ordering, b Thresholds, warm *MasterBasis) (*LPResult, error) {
 	if len(Q) == 0 {
 		return nil, fmt.Errorf("game: SolveFixed needs at least one ordering")
 	}
@@ -100,7 +114,7 @@ func (in *Instance) SolveFixed(Q []Ordering, b Thresholds) (*LPResult, error) {
 		p.SetCoeff(sumCon, v, 1)
 	}
 
-	sol, err := p.Solve(lp.Options{})
+	sol, err := p.Solve(lp.Options{Warm: warm.toLP(Q, len(Q), p.NumConstrs())})
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +128,7 @@ func (in *Instance) SolveFixed(Q []Ordering, b Thresholds) (*LPResult, error) {
 		Ue:          make([]float64, len(in.G.Entities)),
 		RowDuals:    make([][]float64, len(in.classes)),
 		SimplexDual: sol.Dual[sumCon] * weightScale,
+		Basis:       masterBasisFromLP(sol.Basis, Q, len(Q), p.NumConstrs()),
 		Iterations:  sol.Iterations,
 	}
 	for qi := range Q {

@@ -1,0 +1,159 @@
+package game
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"auditgame/internal/lp"
+)
+
+// StructuralFingerprint hashes everything about the instance that the
+// restricted master's shape and coefficients depend on except the
+// per-type count model: budget, type count and costs, AllowNoAttack,
+// and the full entity-class structure (weights and attack signatures).
+// Two instances with equal fingerprints build masters with identical
+// rows and identically-keyed columns, which is the precondition for
+// reusing a MasterBasis and a column pool across a refit; a count-model
+// change alone (the refit case) leaves the fingerprint unchanged, while
+// budget, type-set, or entity-class changes do not.
+func (in *Instance) StructuralFingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wf := func(f float64) { w64(math.Float64bits(f)) }
+	wf(in.Budget)
+	w64(uint64(in.nT))
+	for _, t := range in.G.Types {
+		wf(t.Cost)
+	}
+	if in.G.AllowNoAttack {
+		w64(1)
+	} else {
+		w64(0)
+	}
+	w64(uint64(len(in.classes)))
+	for _, cl := range in.classes {
+		wf(cl.weight)
+		w64(uint64(len(cl.sigs)))
+		for _, sig := range cl.sigs {
+			wf(sig.base)
+			wf(sig.delta)
+			for _, p := range sig.probs {
+				wf(p)
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// DualPricingScale returns Σ_{c,s} |RowDuals[c][s] · delta_{c,s}|, the
+// Lipschitz constant of a column's reduced cost with respect to uniform
+// detection-probability perturbation under the solve's duals: every
+// pal value moving by at most ε moves any column's reduced cost by at
+// most ε times this scale. Multiplied by a bound on the pal shift (the
+// summed per-type total-variation distances of a model refit), it
+// screens which pooled columns could possibly have priced negative
+// under the new model.
+func (in *Instance) DualPricingScale(res *LPResult) float64 {
+	var sum float64
+	for ci := range in.classes {
+		for s, sig := range in.classes[ci].sigs {
+			sum += math.Abs(res.RowDuals[ci][s] * sig.delta)
+		}
+	}
+	return sum
+}
+
+// MasterBasis is the optimal basis of a restricted master LP in
+// game-logical coordinates: ordering columns are identified by their
+// content key, u_e columns by entity-class index, and slack columns by
+// constraint row. That indirection is what makes the basis portable
+// across solves — the column pool grows between pricing rounds (an
+// ordering's lp.Var index shifts) and a refit rebuilds the whole LP
+// with perturbed coefficients (every index is reassigned), but an
+// ordering's key and a class's position depend only on the game's
+// attack structure, which both transformations preserve.
+type MasterBasis struct {
+	numRows int
+	rows    []masterBasisEntry
+}
+
+type masterBasisKind uint8
+
+const (
+	mbArtificial masterBasisKind = iota
+	mbOrdering
+	mbUe
+	mbSlack
+)
+
+type masterBasisEntry struct {
+	kind masterBasisKind
+	key  string // ordering content key, for mbOrdering
+	idx  int    // class index (mbUe) or constraint row (mbSlack)
+	neg  bool   // negative part of the free u_e variable
+}
+
+// NumRows reports the constraint-row count the basis was extracted
+// from; a master with a different row count (different class structure)
+// cannot use it.
+func (mb *MasterBasis) NumRows() int {
+	if mb == nil {
+		return 0
+	}
+	return mb.numRows
+}
+
+// toLP translates the basis into lp coordinates for a master over the
+// ordering set Q. Orderings that have left the pool (or a stale basis
+// altogether) degrade gracefully: unmappable entries become artificial
+// markers, which the LP layer drops back to its slack crash.
+func (mb *MasterBasis) toLP(Q []Ordering, numQ, numRows int) *lp.Basis {
+	if mb == nil || mb.numRows != numRows {
+		return nil
+	}
+	at := make(map[string]int, len(Q))
+	for qi, o := range Q {
+		at[o.Key()] = qi
+	}
+	b := &lp.Basis{Rows: make([]lp.BasisEntry, len(mb.rows))}
+	for i, e := range mb.rows {
+		switch e.kind {
+		case mbOrdering:
+			if qi, ok := at[e.key]; ok {
+				b.Rows[i] = lp.BasisEntry{Kind: lp.BasisStructural, Var: lp.Var(qi)}
+			}
+		case mbUe:
+			b.Rows[i] = lp.BasisEntry{Kind: lp.BasisStructural, Var: lp.Var(numQ + e.idx), Neg: e.neg}
+		case mbSlack:
+			b.Rows[i] = lp.BasisEntry{Kind: lp.BasisSlack, Row: lp.Constr(e.idx)}
+		}
+	}
+	return b
+}
+
+// masterBasisFromLP translates an optimal lp basis back into
+// game-logical coordinates.
+func masterBasisFromLP(b *lp.Basis, Q []Ordering, numQ, numRows int) *MasterBasis {
+	if b == nil {
+		return nil
+	}
+	mb := &MasterBasis{numRows: numRows, rows: make([]masterBasisEntry, len(b.Rows))}
+	for i, e := range b.Rows {
+		switch e.Kind {
+		case lp.BasisStructural:
+			if v := int(e.Var); v < numQ {
+				mb.rows[i] = masterBasisEntry{kind: mbOrdering, key: Q[v].Key()}
+			} else {
+				mb.rows[i] = masterBasisEntry{kind: mbUe, idx: v - numQ, neg: e.Neg}
+			}
+		case lp.BasisSlack:
+			mb.rows[i] = masterBasisEntry{kind: mbSlack, idx: int(e.Row)}
+		}
+	}
+	return mb
+}

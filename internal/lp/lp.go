@@ -210,6 +210,45 @@ func (p *Problem) AddRow(name string, vars []Var, coeffs []float64, rel Rel, rhs
 	return c
 }
 
+// BasisEntryKind says what kind of column was basic in a row at an
+// optimal solve.
+type BasisEntryKind uint8
+
+const (
+	// BasisArtificial marks a row whose artificial variable stayed basic
+	// (at zero level — a linearly dependent row). Warm starts skip it.
+	BasisArtificial BasisEntryKind = iota
+	// BasisStructural marks a user variable (Var; Neg selects the
+	// negative part of a Free variable).
+	BasisStructural
+	// BasisSlack marks the slack/surplus column of constraint Row.
+	BasisSlack
+)
+
+// BasisEntry identifies the column basic in one constraint row, in user
+// terms (variables and constraints, not internal standard-form columns),
+// so a basis survives rebuilding a structurally compatible problem.
+type BasisEntry struct {
+	Kind BasisEntryKind
+	// Var is the basic variable for BasisStructural; Neg selects the
+	// negative part of a Free variable.
+	Var Var
+	Neg bool
+	// Row is the constraint whose slack/surplus is basic, for BasisSlack.
+	Row Constr
+}
+
+// Basis is the optimal basis of a solved problem: one entry per
+// constraint row. Pass it back through Options.Warm when solving a
+// problem with the same constraints (in the same order) and a superset
+// of the variables — e.g. the next restricted master of a column
+// generation loop, or the same master under a perturbed model — to
+// start the simplex near the old optimum instead of from the slack
+// crash.
+type Basis struct {
+	Rows []BasisEntry
+}
+
 // Solution holds the result of solving a Problem.
 type Solution struct {
 	Status    Status
@@ -220,8 +259,11 @@ type Solution struct {
 	// the derivative of the optimal objective with respect to that
 	// constraint's right-hand side.
 	Dual []float64
+	// Basis is the optimal basis, reusable as Options.Warm on a
+	// structurally compatible re-solve. Nil on non-optimal statuses.
+	Basis *Basis
 	// Iterations is the total number of simplex pivots across both
-	// phases.
+	// phases (including warm-start advance pivots).
 	Iterations int
 }
 
@@ -240,6 +282,16 @@ type Options struct {
 	// pivot-rule ablation; normally the solver starts with Dantzig and
 	// falls back on stall).
 	Bland bool
+	// Warm is an advisory starting basis from a previous Solution of a
+	// structurally compatible problem: same constraints in the same
+	// order (the row count must match or the basis is ignored), and any
+	// superset of the variables. After the usual slack-crash and phase 1,
+	// the solver advances toward this basis through ordinary ratio-test
+	// pivots before phase-2 pricing begins, so a stale or partially
+	// invalid basis can only cost pivots, never correctness: entries
+	// that don't map or admit no acceptable pivot element fall back to
+	// the slack crash for their row.
+	Warm *Basis
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -261,6 +313,6 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	}
 	std := p.toStandard()
 	o := opts.withDefaults(std.m, std.n)
-	res := std.simplex(o)
+	res := std.simplex(o, std.warmCols(opts.Warm))
 	return p.fromStandard(std, res), nil
 }

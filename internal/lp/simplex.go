@@ -13,6 +13,7 @@ type simplexResult struct {
 	obj    float64
 	x      matrix.Vector // length n (structural columns only)
 	y      matrix.Vector // length m (equality-form duals, one per row)
+	basis  []int         // final basis, basis[i] = column basic in row i (Optimal only)
 	iters  int
 }
 
@@ -35,7 +36,18 @@ type tableau struct {
 	eps     float64
 }
 
-func (s *standard) simplex(o Options) *simplexResult {
+// newTableau builds the initial working set with the slack crash basis.
+//
+// Crash basis: a row whose slack carries a +1 coefficient is feasible
+// with that slack basic (b ≥ 0 by construction), so only equality and
+// sign-flipped rows start on artificials. The basis matrix is still
+// the identity, and the artificial columns are installed for every
+// row regardless — the dual extraction reads them. Starting
+// from slacks instead of a full artificial basis keeps phase 1 to the
+// handful of rows that genuinely need repair, which both speeds it up
+// and avoids the long degenerate pivot chains on rhs-0 rows that let
+// tableau round-off accumulate.
+func (s *standard) newTableau(o Options) *tableau {
 	t := &tableau{
 		m:     s.m,
 		n:     s.n,
@@ -45,15 +57,6 @@ func (s *standard) simplex(o Options) *simplexResult {
 		inb:   make([]bool, s.n+s.m),
 		eps:   o.Eps,
 	}
-	// Crash basis: a row whose slack carries a +1 coefficient is feasible
-	// with that slack basic (b ≥ 0 by construction), so only equality and
-	// sign-flipped rows start on artificials. The basis matrix is still
-	// the identity, and the artificial columns are installed for every
-	// row regardless — the dual extraction below reads them. Starting
-	// from slacks instead of a full artificial basis keeps phase 1 to the
-	// handful of rows that genuinely need repair, which both speeds it up
-	// and avoids the long degenerate pivot chains on rhs-0 rows that let
-	// tableau round-off accumulate.
 	for i := 0; i < s.m; i++ {
 		copy(t.a.Row(i)[:s.n], s.a.Row(i))
 		t.a.Set(i, s.n+i, 1) // artificial
@@ -65,14 +68,39 @@ func (s *standard) simplex(o Options) *simplexResult {
 			t.inb[s.n+i] = true
 		}
 	}
+	return t
+}
 
+func (s *standard) simplex(o Options, warm []int) *simplexResult {
+	t := s.newTableau(o)
 	res := &simplexResult{}
 
-	// Phase 1: minimize the sum of artificials.
 	phase1 := matrix.NewVector(s.n + s.m)
 	for j := s.n; j < s.n+s.m; j++ {
 		phase1[j] = 1
 	}
+
+	// Warm start: crash-install the supplied basis by direct pivots
+	// (Gaussian elimination with best-magnitude row choice), then repair
+	// any negative basic values the new data produced. Every step is a
+	// legal basis change on a consistent tableau, so on success the
+	// phases below run exactly as they would from the slack crash — just
+	// from a vertex near the old optimum. If the warm basis turns out
+	// singular or the repair fails, throw the tableau away and restart
+	// from the cold slack crash: a warm start may only cost time, never
+	// correctness.
+	if len(warm) > 0 {
+		t.setObjective(phase1) // pivots maintain cbar/z; install under phase-1 costs
+		it := t.warmInstall(warm)
+		rep, ok := t.warmRepair()
+		if ok {
+			res.iters += it + rep
+		} else {
+			t = s.newTableau(o)
+		}
+	}
+
+	// Phase 1: minimize the sum of artificials.
 	t.setObjective(phase1)
 	st, it := t.iterate(o, true)
 	res.iters += it
@@ -128,7 +156,103 @@ func (s *standard) simplex(o Options) *simplexResult {
 	for i := 0; i < s.m; i++ {
 		res.y[i] = -t.cbar[s.n+i]
 	}
+	res.basis = append([]int(nil), t.basis...)
 	return res
+}
+
+// warmInstallTol is the smallest tableau entry accepted as an
+// installation pivot. Looser than pivotTol would risk amplifying the
+// tableau by the reciprocal of a noise-level entry across the m install
+// pivots; matching pivotTol keeps the warm crash no worse conditioned
+// than a regular pivot sequence.
+const warmInstallTol = pivotTol
+
+// warmInstall pivots the supplied columns into the basis by direct
+// Gaussian-elimination steps: each column enters on the unclaimed row
+// where it has the largest-magnitude entry (partial pivoting), with no
+// ratio test — primal feasibility is deliberately ignored here and
+// restored by warmRepair afterwards. Rows already holding a target
+// column are claimed up front so targets never evict each other.
+// Columns that no longer exist, are already basic, or have no entry
+// above warmInstallTol on any unclaimed row (a singular warm basis)
+// are skipped. Returns the pivot count.
+func (t *tableau) warmInstall(desired []int) int {
+	claimed := make([]bool, t.m)
+	want := make([]bool, t.n+t.m)
+	for _, j := range desired {
+		if j >= 0 && j < t.n {
+			want[j] = true
+		}
+	}
+	for i, bj := range t.basis {
+		if bj >= 0 && bj < t.n && want[bj] {
+			claimed[i] = true
+		}
+	}
+	pivots := 0
+	for _, j := range desired {
+		if j < 0 || j >= t.n || t.inb[j] {
+			continue
+		}
+		best, row := warmInstallTol, -1
+		for i := 0; i < t.m; i++ {
+			if claimed[i] {
+				continue
+			}
+			if v := math.Abs(t.a.At(i, j)); v > best {
+				best, row = v, i
+			}
+		}
+		if row < 0 {
+			continue
+		}
+		t.pivot(row, j)
+		claimed[row] = true
+		pivots++
+	}
+	return pivots
+}
+
+// warmRepair restores b ≥ 0 after warmInstall. The install pivots land
+// on the warm basis regardless of feasibility; under perturbed problem
+// data the basic values there are the old ones moved by the
+// perturbation, so infeasibilities are typically a few degenerate zeros
+// pushed slightly negative. Each repair pivot takes the most negative
+// row and brings in the non-basic structural column with the
+// largest-magnitude negative entry in it, which makes that row's value
+// positive while disturbing the rest by O(|b_row|). Artificials are
+// barred (they must stay priceable for the dual extraction). Returns
+// (pivots, ok); ok=false — no eligible entering column, or no
+// convergence within the pivot budget — tells the caller to throw the
+// tableau away and restart cold.
+func (t *tableau) warmRepair() (int, bool) {
+	budget := 2*t.m + 16
+	for k := 0; k < budget; k++ {
+		row, worst := -1, -t.eps
+		for i := 0; i < t.m; i++ {
+			if t.b[i] < worst {
+				worst, row = t.b[i], i
+			}
+		}
+		if row < 0 {
+			return k, true
+		}
+		best, enter := pivotTol, -1
+		r := t.a.Row(row)
+		for j := 0; j < t.n; j++ {
+			if t.inb[j] {
+				continue
+			}
+			if v := -r[j]; v > best {
+				best, enter = v, j
+			}
+		}
+		if enter < 0 {
+			return k, false
+		}
+		t.pivot(row, enter)
+	}
+	return budget, false
 }
 
 func sqrtEps(eps float64) float64 { return math.Sqrt(eps) }

@@ -18,6 +18,9 @@ type standard struct {
 	// free variables negCol holds the negative-part column, else -1.
 	colOfVar []int
 	negCol   []int
+	// slackCol[i] is the slack/surplus column of inequality row i, else
+	// -1 for equality rows. Kept for basis translation (warm starts).
+	slackCol []int
 	// crashCol[i] is the slack/surplus column of row i when it carries a
 	// +1 coefficient after sign normalization (and can therefore serve as
 	// the row's initial basic variable), else -1. Equality rows and rows
@@ -65,13 +68,13 @@ func (p *Problem) toStandard() *standard {
 			s.negCol[i] = -1
 		}
 	}
-	slackCol := make([]int, len(p.cons))
+	s.slackCol = make([]int, len(p.cons))
 	for i, con := range p.cons {
 		if con.rel == EQ {
-			slackCol[i] = -1
+			s.slackCol[i] = -1
 			continue
 		}
-		slackCol[i] = n
+		s.slackCol[i] = n
 		n++
 	}
 	s.n = n
@@ -106,9 +109,9 @@ func (p *Problem) toStandard() *standard {
 		}
 		switch con.rel {
 		case LE:
-			row[slackCol[i]] = 1
+			row[s.slackCol[i]] = 1
 		case GE:
-			row[slackCol[i]] = -1
+			row[s.slackCol[i]] = -1
 		}
 		s.b[i] = rhs
 		if s.b[i] < 0 {
@@ -117,8 +120,8 @@ func (p *Problem) toStandard() *standard {
 			row.Scale(-1)
 		}
 		s.crashCol[i] = -1
-		if slackCol[i] >= 0 && row[slackCol[i]] == 1 {
-			s.crashCol[i] = slackCol[i]
+		if s.slackCol[i] >= 0 && row[s.slackCol[i]] == 1 {
+			s.crashCol[i] = s.slackCol[i]
 		}
 	}
 	return s
@@ -157,5 +160,6 @@ func (p *Problem) fromStandard(s *standard, r *simplexResult) *Solution {
 		sol.Objective = -sol.Objective
 	}
 	sol.Objective += s.objOffset
+	sol.Basis = s.basisFromCols(r.basis)
 	return sol
 }

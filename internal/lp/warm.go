@@ -1,0 +1,69 @@
+package lp
+
+// Warm-start basis translation. A Basis lives in user terms (Var,
+// Constr) precisely so it survives rebuilding the Problem: the column
+// generation master grows new variables between solves, and a refit
+// rebuilds the whole problem with perturbed coefficients — in both
+// cases the standard-form column indices shift, but variable and
+// constraint identities do not. These helpers translate between the two
+// coordinate systems.
+
+// warmCols maps a user-level warm basis onto standard-form column
+// indices, one per row, in row order. Entries that no longer map —
+// artificials, variables beyond the current problem, slacks of rows
+// that are now equalities — are dropped (the row keeps its crash
+// start). A basis with the wrong number of rows is rejected entirely:
+// row identities cannot be trusted.
+func (s *standard) warmCols(w *Basis) []int {
+	if w == nil || len(w.Rows) != s.m {
+		return nil
+	}
+	cols := make([]int, 0, s.m)
+	for _, e := range w.Rows {
+		j := -1
+		switch e.Kind {
+		case BasisStructural:
+			if v := int(e.Var); v >= 0 && v < len(s.colOfVar) {
+				if e.Neg {
+					j = s.negCol[v]
+				} else {
+					j = s.colOfVar[v]
+				}
+			}
+		case BasisSlack:
+			if r := int(e.Row); r >= 0 && r < len(s.slackCol) {
+				j = s.slackCol[r]
+			}
+		}
+		if j >= 0 {
+			cols = append(cols, j)
+		}
+	}
+	return cols
+}
+
+// basisFromCols translates the final standard-form basis (one column
+// index per row; >= s.n means artificial) back into user terms.
+func (s *standard) basisFromCols(cols []int) *Basis {
+	byCol := make(map[int]BasisEntry, s.n)
+	for v, j := range s.colOfVar {
+		byCol[j] = BasisEntry{Kind: BasisStructural, Var: Var(v)}
+		if nj := s.negCol[v]; nj >= 0 {
+			byCol[nj] = BasisEntry{Kind: BasisStructural, Var: Var(v), Neg: true}
+		}
+	}
+	for r, j := range s.slackCol {
+		if j >= 0 {
+			byCol[j] = BasisEntry{Kind: BasisSlack, Row: Constr(r)}
+		}
+	}
+	b := &Basis{Rows: make([]BasisEntry, len(cols))}
+	for i, j := range cols {
+		if e, ok := byCol[j]; ok {
+			b.Rows[i] = e
+		} else {
+			b.Rows[i] = BasisEntry{Kind: BasisArtificial}
+		}
+	}
+	return b
+}

@@ -309,6 +309,30 @@ func (t *Tracker) Snapshot() ([]dist.Spec, error) {
 	return specs, nil
 }
 
+// ModelDistances returns the exact per-type total-variation distance
+// between the installed reference model and the current window
+// snapshot — the drift magnitudes a warm-started refit uses to decide
+// which pooled solver columns must be re-priced. It fails before
+// SetInstalled or while any window is empty. Unlike Decision.Scores
+// (whose TV entries are −1 when the detector's fast path already ruled
+// a type out), every entry here is computed.
+func (t *Tracker) ModelDistances() ([]float64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.installed == nil {
+		return nil, fmt.Errorf("refit: no installed model to measure distances from")
+	}
+	tv := make([]float64, len(t.est))
+	for i, e := range t.est {
+		snap, err := e.SnapshotGaussian(t.cfg.Coverage)
+		if err != nil {
+			return nil, fmt.Errorf("refit: type %d: %w", i, err)
+		}
+		tv[i] = TotalVariation(t.installed[i], snap)
+	}
+	return tv, nil
+}
+
 // State reports the tracker's serializable state.
 func (t *Tracker) State() State {
 	t.mu.Lock()

@@ -400,3 +400,51 @@ func TestTrackerConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestModelDistances(t *testing.T) {
+	tr := newTracker(t, 3, Config{Window: 20})
+	if _, err := tr.ModelDistances(); err == nil {
+		t.Fatal("want error before SetInstalled")
+	}
+	ds := model(t)
+	if err := tr.SetInstalled(ds, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.ModelDistances(); err == nil {
+		t.Fatal("want error on empty windows")
+	}
+
+	// Feed the installed model itself: distances should be small.
+	r := rand.New(rand.NewSource(11))
+	feed(t, tr, ds, r, 40)
+	tv, err := tr.ModelDistances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tv) != 3 {
+		t.Fatalf("want 3 distances, got %d", len(tv))
+	}
+	for i, d := range tv {
+		if d < 0 || d > 1 {
+			t.Fatalf("tv[%d] = %v outside [0, 1]", i, d)
+		}
+		if d > 0.5 {
+			t.Fatalf("tv[%d] = %v too large for data drawn from the installed model", i, d)
+		}
+	}
+
+	// Shift one type far away: its distance must dominate and approach 1.
+	shifted := model(t)
+	shifted[1] = dist.NewGaussian(40, 2, 0.995)
+	feed(t, tr, shifted, r, 40)
+	tv2, err := tr.ModelDistances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv2[1] < 0.9 {
+		t.Fatalf("shifted type distance = %v, want near 1", tv2[1])
+	}
+	if tv2[1] <= tv2[0] || tv2[1] <= tv2[2] {
+		t.Fatalf("shifted type must dominate: %v", tv2)
+	}
+}

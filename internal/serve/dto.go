@@ -66,6 +66,12 @@ type JobResponse struct {
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	// Detail carries the outcome explanation for refit jobs.
 	Detail string `json:"detail,omitempty"`
+	// Warm carries the warm-start accounting of column-generation solves
+	// on sessions running MethodCGGS: whether the solve reused the
+	// session's persisted column pool and LP basis, how many columns the
+	// drift screen parked, and the pricing-round count. Absent for other
+	// methods and for jobs that failed before solving.
+	Warm *auditgame.WarmStats `json:"warm_stats,omitempty"`
 }
 
 // ObserveRequest is the body of POST /v1/observe: one audit period's
@@ -104,6 +110,11 @@ type DriftResponse struct {
 	PolicyVersion uint64 `json:"policy_version"`
 	// RefitJobID is the most recent drift-triggered refit job, if any.
 	RefitJobID string `json:"refit_job_id,omitempty"`
+	// LastRefitWarm is the warm-start accounting of the most recent
+	// finished refit job (MethodCGGS sessions): whether the re-solve
+	// reused the session's column pool and basis or fell back cold on a
+	// structural change, and how much re-pricing the drift screen saved.
+	LastRefitWarm *auditgame.WarmStats `json:"last_refit_warm,omitempty"`
 	// State is the tracker's detector state: window vs model means,
 	// check/fire/install counters, hysteresis markers, and the last
 	// decision with its per-type distance scores.

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"auditgame"
 )
 
 // Job states. A job leaves "running" exactly once.
@@ -27,6 +29,7 @@ type job struct {
 	policyVersion uint64
 	expectedLoss  float64
 	detail        string
+	warm          *auditgame.WarmStats
 	started       time.Time
 	finished      time.Time
 }
@@ -47,6 +50,7 @@ func (j *job) snapshot() JobResponse {
 		ExpectedLoss:   j.expectedLoss,
 		ElapsedSeconds: end.Sub(j.started).Seconds(),
 		Detail:         j.detail,
+		Warm:           j.warm,
 	}
 }
 
@@ -57,7 +61,7 @@ func (j *job) running() bool {
 	return j.status == jobRunning
 }
 
-func (j *job) finish(status, errMsg string, version uint64, loss float64, detail string) {
+func (j *job) finish(status, errMsg string, version uint64, loss float64, detail string, warm *auditgame.WarmStats) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.status != jobRunning {
@@ -68,7 +72,15 @@ func (j *job) finish(status, errMsg string, version uint64, loss float64, detail
 	j.policyVersion = version
 	j.expectedLoss = loss
 	j.detail = detail
+	j.warm = warm
 	j.finished = time.Now()
+}
+
+// warmStats returns the finished job's warm-start accounting, or nil.
+func (j *job) warmStats() *auditgame.WarmStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.warm
 }
 
 // jobTable is the registry behind /v1/solve: requested solves and

@@ -275,6 +275,82 @@ func TestServeRefitPersistsArtifact(t *testing.T) {
 	}
 }
 
+// TestServeRefitWarmCounters pins the warm-start surface: on a
+// MethodCGGS session with pinned thresholds, a drift-triggered refit
+// reuses the session's persisted solve state, and both the job DTO and
+// GET /v1/drift report the warm accounting.
+func TestServeRefitWarmCounters(t *testing.T) {
+	a, err := auditgame.NewAuditor(auditgame.AuditorConfig{
+		Game:   trackedGame(),
+		Budget: 3,
+		Method: auditgame.MethodCGGS,
+		CGGS:   auditgame.CGGSConfig{ExhaustiveOracle: true},
+		Source: auditgame.SourceOptions{Seed: 1},
+		// Pinned thresholds keep the refit structurally compatible with
+		// the persisted state; the default per-model caps would widen
+		// under drift and legitimately force the refit cold.
+		Thresholds: auditgame.Thresholds{3, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.SolveDetailed(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Warm == nil || res.Warm.Warm {
+		t.Fatalf("initial CGGS solve warm accounting = %+v, want cold", res.Warm)
+	}
+	tr, err := auditgame.NewTracker(2, auditgame.TrackerConfig{Window: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AttachTracker(tr, auditgame.RefitOptions{MinLossDelta: 0}); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Auditor: a})
+
+	r := rand.New(rand.NewSource(23))
+	var jobID string
+	for day := 0; day < 60 && jobID == ""; day++ {
+		if out := observe(t, ts.URL, sampleCounts(r, []float64{15, 9})); out.Drift {
+			jobID = out.RefitJobID
+		}
+	}
+	if jobID == "" {
+		t.Fatal("drift never fired")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	var job JobResponse
+	for {
+		getJSON(t, ts.URL+"/v1/solve/"+jobID, &job)
+		if job.Status != jobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("refit job still running: %+v", job)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if job.Status != jobDone {
+		t.Fatalf("refit job = %+v, want done", job)
+	}
+	if job.Warm == nil || !job.Warm.Warm || job.Warm.ColumnsReused == 0 || job.Warm.PricingRounds == 0 {
+		t.Fatalf("refit job warm accounting = %+v, want a warm solve with reused columns", job.Warm)
+	}
+	var drift DriftResponse
+	getJSON(t, ts.URL+"/v1/drift", &drift)
+	if drift.RefitJobID != jobID {
+		t.Fatalf("drift reports refit job %q, want %q", drift.RefitJobID, jobID)
+	}
+	if drift.LastRefitWarm == nil || !drift.LastRefitWarm.Warm {
+		t.Fatalf("drift last_refit_warm = %+v, want the refit's warm accounting", drift.LastRefitWarm)
+	}
+	if *drift.LastRefitWarm != *job.Warm {
+		t.Fatalf("drift warm accounting %+v != job's %+v", *drift.LastRefitWarm, *job.Warm)
+	}
+}
+
 func writePolicy(path string, p *auditgame.Policy) error {
 	f, err := os.Create(path)
 	if err != nil {

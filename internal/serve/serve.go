@@ -302,13 +302,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		res, err := s.aud.SolveDetailed(ctx)
 		switch {
 		case err == nil:
-			j.finish(jobDone, "", res.PolicyVersion, res.Policy.ExpectedLoss, "")
+			j.finish(jobDone, "", res.PolicyVersion, res.Policy.ExpectedLoss, "", res.Warm)
 			s.logf("serve: solve %s done (loss %.4f, policy version %d)", j.id, res.Policy.ExpectedLoss, res.PolicyVersion)
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			j.finish(jobCancelled, err.Error(), 0, 0, "")
+			j.finish(jobCancelled, err.Error(), 0, 0, "", nil)
 			s.logf("serve: solve %s cancelled: %v", j.id, err)
 		default:
-			j.finish(jobError, err.Error(), 0, 0, "")
+			j.finish(jobError, err.Error(), 0, 0, "", nil)
 			s.logf("serve: solve %s failed: %v", j.id, err)
 		}
 	}()
@@ -380,17 +380,17 @@ func (s *Server) startRefit() string {
 		out, err := s.aud.Refit(ctx)
 		switch {
 		case err == nil && out.Installed:
-			j.finish(jobDone, "", out.PolicyVersion, out.NewLoss, out.Reason)
-			s.logf("serve: refit %s installed policy version %d (loss %.4f)", j.id, out.PolicyVersion, out.NewLoss)
+			j.finish(jobDone, "", out.PolicyVersion, out.NewLoss, out.Reason, out.Warm)
+			s.logf("serve: refit %s installed policy version %d (loss %.4f, warm=%v)", j.id, out.PolicyVersion, out.NewLoss, out.Warm != nil && out.Warm.Warm)
 			s.persistCurrentPolicy()
 		case err == nil:
-			j.finish(jobDone, "", 0, out.NewLoss, out.Reason)
+			j.finish(jobDone, "", 0, out.NewLoss, out.Reason, out.Warm)
 			s.logf("serve: refit %s kept the current policy: %s", j.id, out.Reason)
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			j.finish(jobCancelled, err.Error(), 0, 0, "")
+			j.finish(jobCancelled, err.Error(), 0, 0, "", nil)
 			s.logf("serve: refit %s cancelled: %v", j.id, err)
 		default:
-			j.finish(jobError, err.Error(), 0, 0, "")
+			j.finish(jobError, err.Error(), 0, 0, "", nil)
 			s.logf("serve: refit %s failed: %v", j.id, err)
 		}
 	}()
@@ -449,6 +449,11 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 		s.refitMu.Lock()
 		resp.RefitJobID = s.refitJobID
 		s.refitMu.Unlock()
+		if resp.RefitJobID != "" {
+			if j, ok := s.jobs.get(resp.RefitJobID); ok {
+				resp.LastRefitWarm = j.warmStats()
+			}
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

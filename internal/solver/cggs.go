@@ -7,8 +7,6 @@ package solver
 
 import (
 	"context"
-	"fmt"
-	"math"
 	"sort"
 
 	"auditgame/internal/game"
@@ -112,100 +110,13 @@ func CGGS(ctx context.Context, in *game.Instance, b game.Thresholds, opts CGGSOp
 	return pol, err
 }
 
-// CGGSWithStats is CGGS with the solve's work accounting.
+// CGGSWithStats is CGGS with the solve's work accounting. It runs on a
+// throwaway SolveState; callers that re-solve against drifting models
+// keep the SolveState instead and use its Refit for warm starts.
 func CGGSWithStats(ctx context.Context, in *game.Instance, b game.Thresholds, opts CGGSOptions) (*MixedPolicy, CGGSStats, error) {
-	var stats CGGSStats
-	palEvals0 := in.PalEvals()
-	nT := in.G.NumTypes()
-	opts = opts.withDefaults(nT)
-
-	initial := opts.Initial
-	if initial == nil {
-		initial = BenefitOrdering(in.G)
-	}
-	if !initial.ValidPermutation(nT) {
-		return nil, stats, fmt.Errorf("solver: initial ordering %v is not a permutation of %d types", initial, nT)
-	}
-
-	Q := []game.Ordering{initial.Clone()}
-	inQ := map[string]bool{initial.Key(): true}
-
-	var res *game.LPResult
-	for len(Q) <= opts.MaxColumns {
-		if err := ctx.Err(); err != nil {
-			return nil, stats, err
-		}
-		var err error
-		res, err = in.SolveFixed(Q, b)
-		if err != nil {
-			return nil, stats, err
-		}
-		stats.MasterSolves++
-		stats.Pivots += res.Iterations
-
-		// Greedy column construction: extend a partial ordering one
-		// type at a time, each step choosing the type that minimizes
-		// the reduced cost of the partial column (equivalently,
-		// maximizes the dual-priced column π_Q·Γ′). All extensions of
-		// a step are priced as one batch — one pass over the
-		// realization matrix instead of one per candidate type.
-		partial := make(game.Ordering, 0, nT)
-		used := make([]bool, nT)
-		cands := make([]game.Ordering, 0, nT)
-		candType := make([]int, 0, nT)
-		for len(partial) < nT {
-			cands, candType = cands[:0], candType[:0]
-			for t := 0; t < nT; t++ {
-				if used[t] {
-					continue
-				}
-				c := append(partial[:len(partial):len(partial)], t)
-				cands = append(cands, c)
-				candType = append(candType, t)
-			}
-			rcs := in.ReducedCostBatch(res, cands, b)
-			bestT, bestRC := -1, math.Inf(1)
-			for j, rc := range rcs {
-				if rc < bestRC {
-					bestRC, bestT = rc, candType[j]
-				}
-			}
-			partial = append(partial, bestT)
-			used[bestT] = true
-		}
-
-		rc := in.ReducedCost(res, partial, b)
-		if rc >= -opts.Eps || inQ[partial.Key()] {
-			if !opts.ExhaustiveOracle || nT > 8 {
-				break
-			}
-			// Ablation mode: certify optimality (or find a column the
-			// greedy oracle missed) by pricing every ordering in one
-			// batch.
-			var pool []game.Ordering
-			for _, o := range game.AllOrderings(nT) {
-				if !inQ[o.Key()] {
-					pool = append(pool, o)
-				}
-			}
-			bestRC, bestO := math.Inf(1), game.Ordering(nil)
-			for j, c := range in.ReducedCostBatch(res, pool, b) {
-				if c < bestRC {
-					bestRC, bestO = c, pool[j]
-				}
-			}
-			if bestO == nil || bestRC >= -opts.Eps {
-				break
-			}
-			partial = bestO
-		}
-		Q = append(Q, partial)
-		inQ[partial.Key()] = true
-	}
-
-	stats.Columns = len(Q)
-	stats.PalEvals = in.PalEvals() - palEvals0
-	return &MixedPolicy{Q: Q, Po: res.Po, Thresholds: b.Clone(), Objective: res.Objective}, stats, nil
+	st := NewSolveState(opts)
+	pol, err := st.Solve(ctx, in, b)
+	return pol, st.Stats(), err
 }
 
 // Exact solves the fixed-threshold LP over every ordering of the alert

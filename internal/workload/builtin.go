@@ -19,6 +19,7 @@ func init() {
 	Register(emrWorkload{})
 	Register(creditWorkload{})
 	Register(Scaled{})
+	Register(heavyTail{})
 }
 
 // rejectFixed errors when a Scale override targets a knob the scenario

@@ -1,0 +1,40 @@
+package workload
+
+import (
+	"auditgame/internal/dist"
+	"auditgame/internal/game"
+)
+
+// HeavyTailTemplates returns the alert-type archetypes of the
+// heavy-tailed stress workload: ideal-soliton count models whose ~k⁻²
+// tails put non-negligible mass far above the mode. This is the regime
+// the paper's truncated-Gaussian scenarios never exercise — most
+// periods are quiet, but burst periods reach the full support — and it
+// stresses exactly the machinery that assumes light tails: threshold
+// caps stretch to the support end, windows fitted over a few dozen
+// periods routinely miss the tail, and a mean-based drift detector sees
+// large swings without any model change.
+func HeavyTailTemplates() []TypeTemplate {
+	return []TypeTemplate{
+		{"port-scan", dist.Spec{Kind: "soliton", N: 120}, 1, 9},
+		{"burst-exfil", dist.Spec{Kind: "soliton", N: 60}, 1, 14},
+		{"beacon", dist.Spec{Kind: "soliton", N: 30}, 2, 18},
+		{"cred-spray", dist.Spec{Kind: "soliton", N: 200}, 1, 8},
+		{"priv-probe", dist.Spec{Kind: "soliton", N: 45}, 2, 22},
+		{"lateral-move", dist.Spec{Kind: "soliton", N: 80}, 1, 12},
+	}
+}
+
+// heavyTail is the "heavytail" registry entry: the scaled generator
+// stamped from HeavyTailTemplates. All Scale knobs behave exactly as
+// for "scaled" — only the count-model regime differs.
+type heavyTail struct{}
+
+func (heavyTail) Name() string { return "heavytail" }
+func (heavyTail) Description() string {
+	return "heavy-tailed stress workload: scaled generator over ideal-soliton count models (~1/k² tails)"
+}
+
+func (heavyTail) Build(sc Scale) (*game.Game, game.Thresholds, error) {
+	return Scaled{Templates: HeavyTailTemplates()}.Build(sc)
+}

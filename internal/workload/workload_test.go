@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -16,7 +17,7 @@ import (
 // threshold seed of the right shape.
 func TestRegistryRoundTrip(t *testing.T) {
 	names := Names()
-	for _, want := range []string{"syna", "emr", "credit", "scaled"} {
+	for _, want := range []string{"syna", "emr", "credit", "scaled", "heavytail"} {
 		found := false
 		for _, n := range names {
 			if n == want {
@@ -162,6 +163,74 @@ func TestScaledDaysEmpirical(t *testing.T) {
 	// The fit must stay in the template's regime (bulk-access mean 180).
 	if m := g.Types[0].Dist.Mean(); m < 100 || m > 260 {
 		t.Fatalf("fitted mean %v far from the template's 180", m)
+	}
+}
+
+// TestHeavyTailDeterminism: the soliton-model workload is a pure
+// function of (scale, seed) — same seed, byte-identical game; distinct
+// seeds, distinct attack structure.
+func TestHeavyTailDeterminism(t *testing.T) {
+	build := func(seed int64) *game.Game {
+		g, _, err := Build("heavytail", Scale{Entities: 200, AlertTypes: 12, Victims: 8, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	g1, g2 := build(7), build(7)
+	if !reflect.DeepEqual(g1, g2) {
+		t.Fatal("same seed built different heavytail games")
+	}
+	g3 := build(8)
+	if reflect.DeepEqual(g1.Attacks, g3.Attacks) && reflect.DeepEqual(g1.Entities, g3.Entities) {
+		t.Fatal("different seeds built identical heavytail games")
+	}
+}
+
+// TestHeavyTailShape pins the regime the workload exists for: every
+// count model is an ideal soliton anchored at 1 whose upper half keeps
+// heavy-tail mass, with template tables shared across stamped types.
+func TestHeavyTailShape(t *testing.T) {
+	g, seed, err := Build("heavytail", Scale{Entities: 100, AlertTypes: 13, Victims: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Entities) != 100 || g.NumTypes() != 13 || len(g.Victims) != 6 {
+		t.Fatalf("built %d entities, %d types, %d victims", len(g.Entities), g.NumTypes(), len(g.Victims))
+	}
+	if len(seed) != 13 {
+		t.Fatalf("threshold seed has %d entries", len(seed))
+	}
+	nTmpl := len(HeavyTailTemplates())
+	if g.Types[0].Dist != g.Types[nTmpl].Dist {
+		t.Fatal("repeated template types do not share the interned distribution")
+	}
+	for i, at := range g.Types {
+		lo, hi := at.Dist.Support()
+		if lo != 1 {
+			t.Fatalf("type %d support starts at %d, want a soliton anchored at 1", i, lo)
+		}
+		var tail float64
+		for k := hi/2 + 1; k <= hi; k++ {
+			tail += at.Dist.PMF(k)
+		}
+		if tail < 0.5/float64(hi) {
+			t.Fatalf("type %d upper-half mass %v — not heavy-tailed", i, tail)
+		}
+	}
+}
+
+// TestHeavyTailGoldenLoss pins the seeded construction end to end: the
+// loss of a fixed policy on the seed-7 small build is a deterministic
+// function of the generator and must not move under refactors.
+func TestHeavyTailGoldenLoss(t *testing.T) {
+	g, _, err := Build("heavytail", Scale{Entities: 60, AlertTypes: 6, Victims: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = 637.252925294046
+	if got := quickLoss(t, g); math.Abs(got-golden) > 1e-9 {
+		t.Fatalf("heavytail golden loss = %.12f, want %.12f", got, golden)
 	}
 }
 

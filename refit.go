@@ -87,6 +87,13 @@ type RefitOptions struct {
 	// OnRefit, when set, receives every auto-refit outcome (including
 	// errors). Called from the refit goroutine.
 	OnRefit func(*RefitOutcome, error)
+	// ColdRefit opts a MethodCGGS session out of warm-started refit
+	// solves: every drift-triggered re-solve starts from scratch instead
+	// of reusing the session's persisted column pool and LP basis. The
+	// warm path returns the same policy (parked columns are exactly
+	// re-priced before any solve terminates), so this is a
+	// debugging/benchmarking switch, not a safety one.
+	ColdRefit bool
 }
 
 // RefitOutcome reports one drift-triggered re-solve.
@@ -108,6 +115,11 @@ type RefitOutcome struct {
 	Improvement float64 `json:"improvement"`
 	// Reason says why the policy was or was not installed.
 	Reason string `json:"reason"`
+	// Warm carries the warm-start accounting of the refit solve for
+	// MethodCGGS sessions (nil for other methods): whether the session's
+	// persisted column pool and basis were reused, and how much
+	// re-pricing the drift screen saved.
+	Warm *WarmStats `json:"warm_stats,omitempty"`
 }
 
 // trackerBinding pairs the attached tracker with its options in one
@@ -252,7 +264,18 @@ func (a *Auditor) Refit(ctx context.Context) (*RefitOutcome, error) {
 	if thresholds == nil {
 		thresholds = ng.ThresholdCaps()
 	}
-	res, err := a.solveOn(ctx, nin, thresholds)
+	// Warm-start the re-solve from the session's persisted solve state
+	// (MethodCGGS; a no-op for the other methods). The tracker's exact
+	// per-type total-variation distances between the installed model and
+	// the window snapshot bound how far any pooled column's reduced cost
+	// can have moved, screening which columns must be re-priced up front;
+	// when the distances are unavailable (nothing installed yet, empty
+	// windows) the solve still runs warm, just unscreened.
+	var tv []float64
+	if !b.opts.ColdRefit {
+		tv, _ = b.tr.ModelDistances()
+	}
+	res, err := a.solveOn(ctx, nin, thresholds, tv, !b.opts.ColdRefit)
 	if err != nil {
 		return nil, err
 	}
@@ -262,7 +285,7 @@ func (a *Auditor) Refit(ctx context.Context) (*RefitOutcome, error) {
 	// restricted-master bound that can understate the candidate's true
 	// loss, so comparing it against the incumbent's Loss would bias the
 	// gate toward installing.
-	out := &RefitOutcome{NewLoss: Loss(nin, res.Mixed)}
+	out := &RefitOutcome{NewLoss: Loss(nin, res.Mixed), Warm: res.Warm}
 	install := true
 	if cur, _ := a.CurrentPolicy(); cur != nil {
 		out.OldLoss = Loss(nin, mixedFromPolicy(cur))

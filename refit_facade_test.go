@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -258,6 +259,138 @@ func TestAttachTrackerFailureIsClean(t *testing.T) {
 	if dup.State().Installs != 0 {
 		t.Fatal("duplicate attach seeded the rejected tracker")
 	}
+}
+
+// cggsRefitAuditor binds the refit game to a column-generation session
+// with the exhaustive pricing oracle, so every solve — warm or cold —
+// is exact and the warm/cold comparison is a golden equivalence.
+func cggsRefitAuditor(t *testing.T, opts auditgame.RefitOptions) *auditgame.Auditor {
+	t.Helper()
+	a, err := auditgame.NewAuditor(auditgame.AuditorConfig{
+		Game:   refitGame(),
+		Budget: 3,
+		Method: auditgame.MethodCGGS,
+		CGGS:   auditgame.CGGSConfig{ExhaustiveOracle: true},
+		Source: auditgame.SourceOptions{Seed: 1},
+		// Fixed thresholds: with the default (each model's full-coverage
+		// caps) a drifted snapshot widens the caps, which is a structural
+		// change and would legitimately force the refit cold.
+		Thresholds: auditgame.Thresholds{3, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.SolveDetailed(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Warm == nil || res.Warm.Warm {
+		t.Fatalf("first CGGS solve warm accounting = %+v, want a cold solve's", res.Warm)
+	}
+	tr, err := auditgame.NewTracker(2, auditgame.TrackerConfig{Window: 10, MinInterval: -1, Cooldown: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AttachTracker(tr, opts); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestRefitWarmMatchesColdSolve drives two identical CGGS sessions —
+// one warm-starting refits from the persisted solve state, one opted
+// out via ColdRefit — through the same drift stream and requires the
+// same refit loss to LP tolerance. The warm path must actually be warm:
+// reused columns and the warm flag on the outcome.
+func TestRefitWarmMatchesColdSolve(t *testing.T) {
+	warm := cggsRefitAuditor(t, auditgame.RefitOptions{})
+	cold := cggsRefitAuditor(t, auditgame.RefitOptions{ColdRefit: true})
+	for _, a := range []*auditgame.Auditor{warm, cold} {
+		if !driftUntilFire(t, a, []float64{15, 9}, 60, 11) {
+			t.Fatal("drift never fired on a tripled workload")
+		}
+	}
+	wout, err := warm.Refit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cout, err := cold.Refit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wout.Warm == nil || !wout.Warm.Warm || wout.Warm.ColumnsReused == 0 {
+		t.Fatalf("warm refit accounting = %+v, want a warm solve with reused columns", wout.Warm)
+	}
+	if cout.Warm == nil || cout.Warm.Warm {
+		t.Fatalf("ColdRefit session still ran warm: %+v", cout.Warm)
+	}
+	// Same drift stream (same seed) → identical window snapshots →
+	// identical refit instances; warm and cold must agree exactly.
+	if d := wout.NewLoss - cout.NewLoss; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("warm refit loss %.12f != cold refit loss %.12f", wout.NewLoss, cout.NewLoss)
+	}
+	if !wout.Installed || !cout.Installed {
+		t.Fatalf("refits not installed: warm %+v, cold %+v", wout, cout)
+	}
+	// A second drift-and-refit cycle stays warm across the install.
+	if !driftUntilFire(t, warm, []float64{4, 12}, 60, 13) {
+		t.Fatal("second drift never fired")
+	}
+	wout2, err := warm.Refit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wout2.Warm == nil || !wout2.Warm.Warm {
+		t.Fatalf("second refit accounting = %+v, want warm", wout2.Warm)
+	}
+}
+
+// TestConcurrentObserveDuringWarmRefit is the race hammer: ingest
+// traffic (Observe) and serving traffic (Select) run full tilt while
+// warm refits solve and install. Run under -race this pins that the
+// persisted solve state never leaks outside the solve lock.
+func TestConcurrentObserveDuringWarmRefit(t *testing.T) {
+	a := cggsRefitAuditor(t, auditgame.RefitOptions{})
+	if !driftUntilFire(t, a, []float64{15, 9}, 60, 11) {
+		t.Fatal("drift never fired")
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			counts := make([]int, 2)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				counts[0], counts[1] = r.Intn(20), r.Intn(20)
+				if _, err := a.Observe(counts); err != nil {
+					t.Errorf("Observe during refit: %v", err)
+					return
+				}
+				if _, err := a.Select(counts); err != nil {
+					t.Errorf("Select during refit: %v", err)
+					return
+				}
+			}
+		}(int64(100 + w))
+	}
+	for i := 0; i < 3; i++ {
+		out, err := a.Refit(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && (out.Warm == nil || !out.Warm.Warm) {
+			t.Fatalf("refit %d under load not warm: %+v", i, out.Warm)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 // TestRefitCancellation checks that a cancelled refit installs nothing,

@@ -11,6 +11,13 @@ import (
 // orderings plus the thresholds it was computed for.
 type MixedPolicy = solver.MixedPolicy
 
+// WarmStats is the warm-start accounting of a column-generation solve on
+// a session: whether the persisted pool and basis were reused, how many
+// pooled columns the drift screen parked, and how many pricing rounds
+// the solve took. Attached to SolveResult and RefitOutcome for
+// MethodCGGS sessions.
+type WarmStats = solver.WarmStats
+
 // CGGSConfig tunes column generation (Algorithm 1 of the paper).
 type CGGSConfig struct {
 	// Initial seeds the column pool; nil means the benefit-greedy
