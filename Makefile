@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt vet build test race bench
+.PHONY: verify fmt vet build test race bench chaos
 
 # verify is the tier-1 gate: formatting, static checks, full build, and
 # the complete test suite. CI runs exactly this target.
@@ -26,9 +26,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+# CHAOS_ITERS scales the chaos hammer's drift/refit cycles; raise it
+# for a soak run, e.g. `make chaos CHAOS_ITERS=50`.
+CHAOS_ITERS ?= 10
+
+# chaos runs the failure-containment suite under the race detector: the
+# seeded fault-injection hammer over the observe→drift→refit→install
+# loop (chaos_test.go), the solver/serve fault tests, and the
+# crash-recovery e2e that SIGKILLs and restarts the real server binary.
+chaos:
+	CHAOS_ITERS=$(CHAOS_ITERS) $(GO) test -race -run 'TestChaos|TestRefit(Retry|Breaker)|Fault|Checkpoint|Backpressure|JobTable' -v . ./internal/solver ./internal/serve
+	$(GO) test -race -run 'TestServeCrashRecovery' -v ./cmd/auditsim
+
 # PR names the benchmark artifact (BENCH_$(PR).json); override it when
 # cutting a new baseline, e.g. `make bench PR=PR6`.
-PR ?= PR6
+PR ?= PR7
 
 # bench runs the detection-probability, paper-table, scaled-workload,
 # warm-refit, policy-server, and drift-tracker benchmarks and emits

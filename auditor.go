@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"auditgame/internal/solver"
 )
@@ -170,6 +171,21 @@ type Auditor struct {
 	// refitting single-flights Refit: a drift firing that lands while a
 	// refit is already solving is dropped, not queued.
 	refitting atomic.Bool
+
+	// breakerMu guards the refit circuit breaker (see RefitWithRetry):
+	// the consecutive-failure count, the open-until mark, the last
+	// failure, and the retry jitter stream.
+	breakerMu        sync.Mutex
+	breakerFails     int
+	breakerOpenUntil time.Time
+	lastRefitErr     error
+	retryRNG         *rand.Rand
+
+	// installHook, when set, is called after every install inside the
+	// installMu critical section — the serving layer's crash-safe policy
+	// checkpoint writes through it, so checkpoints observe installs in
+	// version order with no interleaving.
+	installHook atomic.Pointer[func(p *Policy, version uint64)]
 }
 
 // installedPolicy pairs a policy with the session version it was
@@ -419,7 +435,56 @@ func (a *Auditor) install(p *Policy, model []Distribution) uint64 {
 		// tracker's per-type variance pass is off every hot path.
 		_ = b.tr.SetInstalled(model, v)
 	}
+	if h := a.installHook.Load(); h != nil {
+		(*h)(p, v)
+	}
 	return v
+}
+
+// OnInstall registers fn to be called after every policy install with
+// the installed policy and its version, inside the install critical
+// section — calls are serialized and observe versions in order. The
+// serving layer uses it to write the crash-safe last-known-good policy
+// checkpoint. fn must be fast and must not call back into the Auditor's
+// install paths (Solve, Refit, SetPolicy, ReloadPolicy): that would
+// self-deadlock. Passing nil clears the hook.
+func (a *Auditor) OnInstall(fn func(p *Policy, version uint64)) {
+	if fn == nil {
+		a.installHook.Store(nil)
+		return
+	}
+	a.installHook.Store(&fn)
+}
+
+// RestorePolicy installs a checkpointed policy under its original
+// version — the crash-recovery path: a restarting serving process
+// restores the last-known-good checkpoint so the policy is served under
+// the same policy_version it was installed as before the crash, before
+// any solve runs. It is only valid on a session with no policy installed
+// yet; later installs continue the version sequence from the restored
+// version. The install hook is not called (the checkpoint already exists).
+func (a *Auditor) RestorePolicy(p *Policy, version uint64) error {
+	if version == 0 {
+		return fmt.Errorf("auditgame: RestorePolicy needs the checkpointed version (≥ 1)")
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	g := a.built.Load()
+	if g != nil && len(p.TypeNames) != g.NumTypes() {
+		return fmt.Errorf("auditgame: checkpoint policy covers %d alert types but the bound game has %d",
+			len(p.TypeNames), g.NumTypes())
+	}
+	a.installMu.Lock()
+	defer a.installMu.Unlock()
+	if cur := a.cur.Load(); cur != nil {
+		return fmt.Errorf("auditgame: RestorePolicy on a session already serving policy version %d", cur.version)
+	}
+	a.cur.Store(&installedPolicy{p: p, version: version})
+	if b := a.refitBinding.Load(); b != nil && g != nil {
+		_ = b.tr.SetInstalled(g.Dists(), version)
+	}
+	return nil
 }
 
 // Policy returns the session's current policy, or nil before the first

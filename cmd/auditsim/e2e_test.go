@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestServeCrashRecovery is the crash-recovery e2e: it builds the real
+// auditsim binary, starts it with -solve-on-start and -checkpoint,
+// SIGKILLs it mid-serving, restarts it against the same checkpoint, and
+// requires the restarted process to serve the pre-crash policy under
+// the pre-crash policy_version before any solve has run.
+func TestServeCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the server binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "auditsim")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building auditsim: %v\n%s", err, out)
+	}
+
+	ckpt := filepath.Join(dir, "checkpoint.json")
+	addr := freeAddr(t)
+	base := "http://" + addr
+	args := []string{
+		"serve", "-addr", addr, "-workload", "syna", "-budget", "8",
+		"-method", "exact", "-checkpoint", ckpt,
+	}
+
+	// First life: solve at startup, which installs version 1 and seeds
+	// the checkpoint.
+	first := startServer(t, bin, append(args, "-solve-on-start"))
+	h := waitHealthy(t, base, 60*time.Second)
+	if !h.PolicyLoaded || h.PolicyVersion != 1 {
+		t.Fatalf("first life health = %+v, want policy version 1", h)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint not written while serving: %v", err)
+	}
+
+	// Crash: SIGKILL, no shutdown path runs.
+	if err := first.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	first.Wait()
+
+	// Second life: same checkpoint, no -solve-on-start, and the test
+	// never posts a solve — the only possible policy source is the
+	// checkpoint.
+	second := startServer(t, bin, args)
+	defer func() {
+		second.Process.Kill()
+		second.Wait()
+	}()
+	h = waitHealthy(t, base, 30*time.Second)
+	if h.Status != "recovered" || !h.Restored {
+		t.Fatalf("second life health = %+v, want status recovered from checkpoint", h)
+	}
+	if !h.PolicyLoaded || h.PolicyVersion != 1 {
+		t.Fatalf("second life health = %+v, want the pre-crash policy version 1", h)
+	}
+
+	// The restored policy answers selections under its pre-crash version.
+	body, err := json.Marshal(map[string]any{"counts": []int{5, 1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/select", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sel struct {
+		PolicyVersion uint64 `json:"policy_version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sel); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || sel.PolicyVersion != 1 {
+		t.Fatalf("select on restored policy: status %d, version %d, want 200 at version 1", resp.StatusCode, sel.PolicyVersion)
+	}
+}
+
+// e2eHealth is the /healthz subset the e2e asserts on.
+type e2eHealth struct {
+	Status        string `json:"status"`
+	PolicyLoaded  bool   `json:"policy_loaded"`
+	PolicyVersion uint64 `json:"policy_version"`
+	Restored      bool   `json:"restored_from_checkpoint"`
+}
+
+// freeAddr reserves a loopback port and releases it for the server.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func startServer(t *testing.T, bin string, args []string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var log bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &log, &log
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if t.Failed() && log.Len() > 0 {
+			t.Logf("server log:\n%s", log.String())
+		}
+	})
+	return cmd
+}
+
+// waitHealthy polls /healthz until it answers, and returns the FIRST
+// successful response — for the restarted process this is the state
+// before any solve could have run.
+func waitHealthy(t *testing.T, base string, timeout time.Duration) e2eHealth {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			var h e2eHealth
+			derr := json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+			if derr != nil {
+				t.Fatal(derr)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("healthz status %d: %+v", resp.StatusCode, h)
+			}
+			return h
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatal(fmt.Errorf("server at %s never became healthy", base))
+	return e2eHealth{}
+}

@@ -45,6 +45,12 @@ func runServe(args []string) error {
 	bank := fs.Int("bank", 0, "Monte-Carlo bank size (0 = default)")
 	poll := fs.Duration("poll", 2*time.Second, "policy artifact mtime poll interval (<0 disables)")
 	solveTimeout := fs.Duration("solve-timeout", 0, "default deadline for /v1/solve jobs (0 = none)")
+	checkpoint := fs.String("checkpoint", "", "crash-safe last-known-good policy checkpoint file (written on every install, restored on start)")
+	maxSolves := fs.Int("max-solves", 0, "max solve/refit jobs running at once (0 = 1)")
+	maxQueued := fs.Int("max-queued", 0, "max solve jobs queued behind the running ones before 429 (0 = 4, <0 none)")
+	jobTTL := fs.Duration("job-ttl", 0, "evict finished solve jobs after this long (0 = 1h, <0 keep forever)")
+	stuckTimeout := fs.Duration("stuck-timeout", 0, "watchdog: cancel jobs still running after this long (0 = 15m, <0 disables)")
+	maxBody := fs.Int64("max-body", 0, "request body cap in bytes (0 = 1MiB)")
 	solveOnStart := fs.Bool("solve-on-start", false, "solve the workload before listening (writes -policy if set)")
 	refit := fs.Bool("refit", false, "track counts posted to /v1/observe and re-solve when the workload drifts (needs -workload)")
 	refitWindow := fs.Int("refit-window", 28, "refit: sliding-window size in periods")
@@ -153,10 +159,16 @@ func runServe(args []string) error {
 	}
 
 	s, err := serve.New(serve.Config{
-		Auditor:      a,
-		PolicyPath:   *policyPath,
-		PollInterval: *poll,
-		SolveTimeout: *solveTimeout,
+		Auditor:             a,
+		PolicyPath:          *policyPath,
+		PollInterval:        *poll,
+		SolveTimeout:        *solveTimeout,
+		CheckpointPath:      *checkpoint,
+		MaxConcurrentSolves: *maxSolves,
+		MaxQueuedSolves:     *maxQueued,
+		JobTTL:              *jobTTL,
+		StuckJobTimeout:     *stuckTimeout,
+		MaxBodyBytes:        *maxBody,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,36 @@
+package auditgame
+
+import "auditgame/internal/solver"
+
+// Failure taxonomy: every solver failure carries a classification the
+// serving layer can surface on job DTOs and GET /v1/drift, so an operator
+// can tell a recovered panic from a deadline from a transient fault
+// without reading logs.
+
+// FailureKind classifies how a solve or refit failed.
+type FailureKind = solver.FailureKind
+
+const (
+	// FailPanic is a recovered panic (a programming error or injected
+	// chaos) converted to a typed error by a solver containment guard.
+	FailPanic = solver.FailPanic
+	// FailTimeout is a context deadline expiry.
+	FailTimeout = solver.FailTimeout
+	// FailCancelled is an explicit context cancellation.
+	FailCancelled = solver.FailCancelled
+	// FailTransient is a recoverable fault that retry machinery may
+	// absorb (errors reporting Transient() == true).
+	FailTransient = solver.FailTransient
+	// FailInternal is everything else: numerical failures, malformed
+	// inputs, logic errors.
+	FailInternal = solver.FailInternal
+)
+
+// SolveError is the typed failure of a solver entry point: the operation
+// that failed, its FailureKind, the underlying cause, and — for recovered
+// panics — the goroutine stack captured at recovery.
+type SolveError = solver.SolveError
+
+// ClassifyFailure maps any error from the solve/refit path onto the
+// failure taxonomy. A nil error classifies as "".
+func ClassifyFailure(err error) FailureKind { return solver.Classify(err) }

@@ -1,0 +1,170 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDisabledIsNoOp: with no plan, Inject returns nil at every point.
+func TestDisabledIsNoOp(t *testing.T) {
+	Disable()
+	for _, p := range Points() {
+		if err := Inject(p); err != nil {
+			t.Fatalf("disabled Inject(%s) = %v", p, err)
+		}
+	}
+	if Enabled() {
+		t.Fatal("Enabled() = true with no plan")
+	}
+	if Snapshot() != nil {
+		t.Fatal("Snapshot() non-nil with no plan")
+	}
+}
+
+// TestDeterministicSchedule: the same plan replays the same firing hit
+// indexes, and a different seed gives a different schedule.
+func TestDeterministicSchedule(t *testing.T) {
+	schedule := func(seed int64) []int {
+		Enable(Plan{Seed: seed, Rules: []Rule{{Point: RefitSnapshot, Mode: ModeError, Prob: 0.3}}})
+		defer Disable()
+		var fired []int
+		for i := 0; i < 200; i++ {
+			if err := Inject(RefitSnapshot); err != nil {
+				fired = append(fired, i)
+				var fe *Error
+				if !errors.As(err, &fe) || fe.Point != RefitSnapshot {
+					t.Fatalf("injected error has wrong type/point: %v", err)
+				}
+				if !IsInjected(err) {
+					t.Fatalf("IsInjected(%v) = false", err)
+				}
+			}
+		}
+		return fired
+	}
+	a, b := schedule(42), schedule(42)
+	if len(a) == 0 {
+		t.Fatal("prob 0.3 over 200 hits never fired")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different firing counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different schedules at %d: %v vs %v", i, a[:i+1], b[:i+1])
+		}
+	}
+	c := schedule(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 200-hit schedules")
+	}
+}
+
+// TestAfterAndMaxFires: After skips early hits, MaxFires caps firings.
+func TestAfterAndMaxFires(t *testing.T) {
+	Enable(Plan{Seed: 1, Rules: []Rule{{
+		Point: JobRunner, Mode: ModeError, Prob: 1, After: 5, MaxFires: 3,
+	}}})
+	defer Disable()
+	fired := 0
+	for i := 1; i <= 20; i++ {
+		err := Inject(JobRunner)
+		if i <= 5 && err != nil {
+			t.Fatalf("hit %d fired despite After=5", i)
+		}
+		if err != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("MaxFires=3 but fired %d times", fired)
+	}
+	st := Snapshot()
+	if st[JobRunner].Hits != 20 || st[JobRunner].Fires != 3 {
+		t.Fatalf("stats = %+v, want 20 hits / 3 fires", st[JobRunner])
+	}
+}
+
+// TestPanicMode: ModePanic panics with a typed *Panic value.
+func TestPanicMode(t *testing.T) {
+	Enable(Plan{Seed: 1, Rules: []Rule{{Point: PalWorker, Mode: ModePanic, Prob: 1}}})
+	defer Disable()
+	defer func() {
+		r := recover()
+		p, ok := r.(*Panic)
+		if !ok || p.Point != PalWorker {
+			t.Fatalf("recovered %v (%T), want *Panic at %s", r, r, PalWorker)
+		}
+	}()
+	Inject(PalWorker)
+	t.Fatal("ModePanic did not panic")
+}
+
+// TestLatencyMode: ModeLatency sleeps and returns nil.
+func TestLatencyMode(t *testing.T) {
+	Enable(Plan{Seed: 1, Rules: []Rule{{Point: HTTPHandler, Mode: ModeLatency, Prob: 1, Latency: 20 * time.Millisecond}}})
+	defer Disable()
+	start := time.Now()
+	if err := Inject(HTTPHandler); err != nil {
+		t.Fatalf("ModeLatency returned error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("latency injection returned after %v, want ≥ 20ms", d)
+	}
+}
+
+// TestConcurrentFiringCount: the number of firings over N concurrent
+// hits equals the serial count — hit indexes are handed out atomically,
+// so the firing set is schedule-deterministic even if goroutine
+// assignment is not.
+func TestConcurrentFiringCount(t *testing.T) {
+	const n = 1000
+	count := func(workers int) int {
+		Enable(Plan{Seed: 9, Rules: []Rule{{Point: SolverPricingRound, Mode: ModeError, Prob: 0.25}}})
+		defer Disable()
+		var fired sync.Map
+		var wg sync.WaitGroup
+		per := n / workers
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if Inject(SolverPricingRound) != nil {
+						fired.Store([2]int{w, i}, true)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		c := 0
+		fired.Range(func(_, _ any) bool { c++; return true })
+		return c
+	}
+	serial, parallel := count(1), count(8)
+	if serial != parallel {
+		t.Fatalf("firing count depends on concurrency: serial %d, 8 workers %d", serial, parallel)
+	}
+}
+
+// BenchmarkInjectDisabled measures the disabled fast path — the cost
+// every kernel loop pays for carrying an injection point.
+func BenchmarkInjectDisabled(b *testing.B) {
+	Disable()
+	for i := 0; i < b.N; i++ {
+		if err := Inject(LPPivot); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

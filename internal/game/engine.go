@@ -5,7 +5,13 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"auditgame/internal/fault"
 )
+
+// palPanic carries the first panic recovered in a pal worker goroutine
+// back to the dispatching goroutine for re-raising.
+type palPanic struct{ val any }
 
 // This file is the detection-probability evaluation engine: interned
 // (ordering, threshold) IDs, a sharded result cache, and a chunked kernel
@@ -301,6 +307,12 @@ func (in *Instance) palCompute(os []Ordering, b Thresholds) [][]float64 {
 		partials[c] = make([]float64, len(os)*nT)
 	}
 	cell := func(unit int) {
+		if err := fault.Inject(fault.PalWorker); err != nil {
+			// The kernel has no error return; panic-only point. The
+			// worker containment below (or, on the serial path, the
+			// solver entry guard) turns it back into a typed error.
+			panic(err)
+		}
 		c, k := unit/len(os), unit%len(os)
 		lo := c * palChunkRows
 		hi := lo + palChunkRows
@@ -312,12 +324,25 @@ func (in *Instance) palCompute(os []Ordering, b Thresholds) [][]float64 {
 
 	nUnits := nChunks * len(os)
 	if workers := in.workerCount(nUnits, nRows*len(os)); workers > 1 {
+		// Panic containment: a panicking worker must not kill the
+		// process (callers above the solver entry points expect a typed
+		// error) and must not strand its siblings. The first panic value
+		// is captured here; the panicking worker exits, the remaining
+		// workers drain the remaining units, wg.Wait returns, and the
+		// panic is re-raised on the calling goroutine, where the solver
+		// entry guard converts it to a *SolveError.
+		var panicked atomic.Pointer[palPanic]
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						panicked.CompareAndSwap(nil, &palPanic{val: r})
+					}
+				}()
 				for {
 					u := int(next.Add(1)) - 1
 					if u >= nUnits {
@@ -328,6 +353,9 @@ func (in *Instance) palCompute(os []Ordering, b Thresholds) [][]float64 {
 			}()
 		}
 		wg.Wait()
+		if p := panicked.Load(); p != nil {
+			panic(p.val)
+		}
 	} else {
 		for u := 0; u < nUnits; u++ {
 			cell(u)

@@ -3,6 +3,7 @@ package lp
 import (
 	"math"
 
+	"auditgame/internal/fault"
 	"auditgame/internal/matrix"
 )
 
@@ -325,6 +326,11 @@ func (t *tableau) iterate(o Options, phase1 bool) (Status, int) {
 	}
 
 	for iter := 0; iter < o.MaxIter; iter++ {
+		if err := fault.Inject(fault.LPPivot); err != nil {
+			// Pivot loops have no error return; panic-only point, caught
+			// by the solver entry containment guards.
+			panic(err)
+		}
 		enter := t.chooseEntering(bland, phase1)
 		if enter < 0 {
 			return Optimal, iter

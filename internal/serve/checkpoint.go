@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"auditgame"
+	"auditgame/internal/fault"
+)
+
+// Crash-safe policy checkpoints. Every install — a finished solve, an
+// installed refit, a hot reload — writes the serving policy and its
+// version to Config.CheckpointPath through the Auditor's install hook,
+// atomically: the file is written to a temp name, fsynced, and renamed
+// over the previous checkpoint, so a crash at any instant leaves either
+// the old checkpoint or the new one, never a torn file. On start the
+// server restores the checkpoint before taking traffic, serving the
+// pre-crash policy under its pre-crash policy_version.
+
+// checkpointVersion is the on-disk format version.
+const checkpointVersion = 1
+
+// checkpointFile is the checkpoint's on-disk shape.
+type checkpointFile struct {
+	V             int               `json:"v"`
+	PolicyVersion uint64            `json:"policy_version"`
+	SavedUnix     int64             `json:"saved_unix"`
+	Policy        *auditgame.Policy `json:"policy"`
+}
+
+// restoreCheckpoint loads the checkpoint and installs its policy under
+// its original version. A missing file returns (0, nil) — a fresh
+// deployment, nothing to restore. A corrupt or unreadable checkpoint is
+// an error: serving silently without the last-known-good policy when one
+// was expected is exactly the failure mode checkpoints exist to prevent.
+func (s *Server) restoreCheckpoint() (uint64, error) {
+	if v := s.aud.PolicyVersion(); v != 0 {
+		// The session already has a policy (e.g. a startup solve ran
+		// before the server was built); the checkpoint is older by
+		// construction, so serving proceeds from the live policy and the
+		// next install overwrites the checkpoint.
+		s.logf("serve: session already serves policy version %d; skipping checkpoint restore", v)
+		return 0, nil
+	}
+	f, err := os.Open(s.cfg.CheckpointPath)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var ck checkpointFile
+	if err := json.NewDecoder(f).Decode(&ck); err != nil {
+		return 0, fmt.Errorf("decoding %s: %w", s.cfg.CheckpointPath, err)
+	}
+	if ck.V != checkpointVersion {
+		return 0, fmt.Errorf("%s: unsupported checkpoint format version %d", s.cfg.CheckpointPath, ck.V)
+	}
+	if ck.Policy == nil || ck.PolicyVersion == 0 {
+		return 0, fmt.Errorf("%s: checkpoint carries no policy", s.cfg.CheckpointPath)
+	}
+	if err := s.aud.RestorePolicy(ck.Policy, ck.PolicyVersion); err != nil {
+		return 0, err
+	}
+	s.ckptMu.Lock()
+	s.restoredVersion = ck.PolicyVersion
+	s.ckptMu.Unlock()
+	return ck.PolicyVersion, nil
+}
+
+// writeCheckpoint is the Auditor install hook: called after every
+// install, inside the install critical section, so checkpoints observe
+// versions in order. A failed write degrades /healthz but never fails
+// the install — the policy is already serving from memory.
+func (s *Server) writeCheckpoint(p *auditgame.Policy, version uint64) {
+	err := s.writeCheckpointFile(p, version)
+	s.ckptMu.Lock()
+	s.ckptErr = err
+	// Any install supersedes a restored checkpoint: /healthz moves off
+	// "recovered" whether or not this write landed.
+	s.restoredVersion = 0
+	s.ckptMu.Unlock()
+	if err != nil {
+		s.logf("serve: checkpoint write failed (policy version %d): %v", version, err)
+	}
+}
+
+func (s *Server) writeCheckpointFile(p *auditgame.Policy, version uint64) error {
+	if err := fault.Inject(fault.PolicyInstall); err != nil {
+		return err
+	}
+	ck := checkpointFile{
+		V:             checkpointVersion,
+		PolicyVersion: version,
+		SavedUnix:     time.Now().Unix(),
+		Policy:        p,
+	}
+	tmp := s.cfg.CheckpointPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	err = json.NewEncoder(f).Encode(ck)
+	if err == nil {
+		// fsync before the rename: the rename is only atomic durability
+		// if the new content reached the disk first.
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, s.cfg.CheckpointPath)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// checkpointState reports the health-relevant checkpoint state: the
+// still-serving restored version (0 once superseded) and the last write
+// error (nil once a later write succeeds).
+func (s *Server) checkpointState() (restoredVersion uint64, writeErr error) {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	return s.restoredVersion, s.ckptErr
+}

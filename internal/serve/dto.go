@@ -54,9 +54,20 @@ type SolveRequest struct {
 type JobResponse struct {
 	V     int    `json:"v"`
 	JobID string `json:"job_id"`
-	// Status is "running", "done", "error", or "cancelled".
+	// Status is "queued", "running", "done", "error", or "cancelled".
+	// Queued jobs are waiting for a concurrency slot behind the bounded
+	// solve queue.
 	Status string `json:"status"`
 	Error  string `json:"error,omitempty"`
+	// FailureKind classifies a failed job per the failure taxonomy:
+	// "panic", "timeout", "cancelled", "transient", or "internal".
+	// Empty for jobs that succeeded or have not finished.
+	FailureKind string `json:"failure_kind,omitempty"`
+	// Outcome distinguishes how a done refit job ended: "installed"
+	// (the refit policy is now serving) or "gated" (the solve succeeded
+	// but the policy did not move enough to install — a healthy
+	// outcome, not a failure). Empty for solve jobs.
+	Outcome string `json:"outcome,omitempty"`
 	// PolicyVersion is the version the solved policy was installed as,
 	// for status "done". A done refit job with policy_version 0 was
 	// gated: the refit policy did not move enough to install (detail
@@ -110,6 +121,14 @@ type DriftResponse struct {
 	PolicyVersion uint64 `json:"policy_version"`
 	// RefitJobID is the most recent drift-triggered refit job, if any.
 	RefitJobID string `json:"refit_job_id,omitempty"`
+	// LastRefitOutcome is the most recent finished refit job's outcome:
+	// "installed" or "gated" (empty while running or after a failure —
+	// RefitHealth carries the failure taxonomy).
+	LastRefitOutcome string `json:"last_refit_outcome,omitempty"`
+	// RefitHealth is the session's refit containment state: the circuit
+	// breaker (open/cooldown), the consecutive-failure count, and the
+	// last failure with its taxonomy classification.
+	RefitHealth *auditgame.RefitHealth `json:"refit_health,omitempty"`
 	// LastRefitWarm is the warm-start accounting of the most recent
 	// finished refit job (MethodCGGS sessions): whether the re-solve
 	// reused the session's column pool and basis or fell back cold on a
@@ -121,13 +140,45 @@ type DriftResponse struct {
 	State *auditgame.DriftState `json:"state,omitempty"`
 }
 
+// Health statuses.
+const (
+	// healthOK: serving normally.
+	healthOK = "ok"
+	// healthDegraded: still serving, but a containment mechanism is
+	// engaged — the refit circuit breaker is open, or the last policy
+	// checkpoint write failed.
+	healthDegraded = "degraded"
+	// healthRecovered: this process started by restoring the crash-safe
+	// policy checkpoint and is serving the pre-crash policy under its
+	// pre-crash version; a fresh install moves it back to "ok".
+	healthRecovered = "recovered"
+)
+
 // HealthResponse is the body of GET /healthz.
 type HealthResponse struct {
-	V             int     `json:"v"`
+	V int `json:"v"`
+	// Status is "ok", "degraded", or "recovered".
 	Status        string  `json:"status"`
 	PolicyLoaded  bool    `json:"policy_loaded"`
 	PolicyVersion uint64  `json:"policy_version"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// JobsRunning and JobsQueued are the solve-job table's current load
+	// against the MaxConcurrentSolves / MaxQueuedSolves bounds;
+	// JobsEvicted counts finished jobs the TTL sweep has evicted over
+	// the process lifetime.
+	JobsRunning int    `json:"jobs_running"`
+	JobsQueued  int    `json:"jobs_queued"`
+	JobsEvicted uint64 `json:"jobs_evicted"`
+	// RestoredFromCheckpoint reports that the serving policy was
+	// restored from the crash-safe checkpoint at startup and has not
+	// been superseded by a fresh install yet.
+	RestoredFromCheckpoint bool `json:"restored_from_checkpoint,omitempty"`
+	// CheckpointError is the last checkpoint-write failure, cleared by
+	// the next successful write.
+	CheckpointError string `json:"checkpoint_error,omitempty"`
+	// RefitHealth is the refit containment state (breaker, failures);
+	// present when a drift tracker is attached.
+	RefitHealth *auditgame.RefitHealth `json:"refit_health,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer.

@@ -1,0 +1,333 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"auditgame"
+	"auditgame/internal/fault"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestJobTableQueueAndBackpressure(t *testing.T) {
+	tbl := newJobTable(1, 1, time.Hour, 0)
+	block := make(chan struct{})
+	started := make(chan string, 4)
+	run := func(j *job) {
+		started <- j.id
+		<-block
+		j.finish(jobResult{status: jobDone})
+	}
+
+	j1, err := tbl.submit("solve", func() {}, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := tbl.submit("solve", func() {}, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.submit("solve", func() {}, run); err == nil {
+		t.Fatal("third submission should hit backpressure")
+	}
+
+	if id := <-started; id != j1.id {
+		t.Fatalf("started %s first, want %s", id, j1.id)
+	}
+	if got := j2.snapshot().Status; got != jobQueued {
+		t.Fatalf("second job status %q, want %q", got, jobQueued)
+	}
+	if r, q, _ := tbl.stats(); r != 1 || q != 1 {
+		t.Fatalf("stats running=%d queued=%d, want 1/1", r, q)
+	}
+
+	close(block)
+	if id := <-started; id != j2.id {
+		t.Fatalf("queued job %s should start after the first releases, got %s", j2.id, id)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		return j1.snapshot().Status == jobDone && j2.snapshot().Status == jobDone
+	}, "both jobs to finish")
+	// With the queue drained, submissions are accepted again.
+	j4, err := tbl.submit("solve", func() {}, func(j *job) { j.finish(jobResult{status: jobDone}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return j4.snapshot().Status == jobDone }, "post-drain job")
+}
+
+func TestJobTableCancelQueued(t *testing.T) {
+	tbl := newJobTable(1, 2, time.Hour, 0)
+	block := make(chan struct{})
+	defer close(block)
+	ran := make(chan string, 2)
+	run := func(j *job) { ran <- j.id; <-block; j.finish(jobResult{status: jobDone}) }
+
+	if _, err := tbl.submit("solve", func() {}, run); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := tbl.submit("solve", func() {}, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.cancel()
+	j2.finishIfQueued()
+	snap := j2.snapshot()
+	if snap.Status != jobCancelled || snap.FailureKind != string(auditgame.FailCancelled) {
+		t.Fatalf("cancelled queued job: %+v", snap)
+	}
+	<-ran // j1 running; j2 must never run
+	select {
+	case id := <-ran:
+		t.Fatalf("cancelled queued job %s still ran", id)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestJobTableTTLEviction(t *testing.T) {
+	tbl := newJobTable(1, 2, 20*time.Millisecond, 0)
+	j, err := tbl.submit("solve", func() {}, func(j *job) { j.finish(jobResult{status: jobDone}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return j.snapshot().Status == jobDone }, "job to finish")
+	time.Sleep(30 * time.Millisecond)
+	tbl.sweep()
+	if _, ok := tbl.get(j.id); ok {
+		t.Fatal("finished job survived its TTL")
+	}
+	if _, _, evicted := tbl.stats(); evicted != 1 {
+		t.Fatalf("jobs_evicted = %d, want 1", evicted)
+	}
+}
+
+func TestJobTableWatchdogReapsStuck(t *testing.T) {
+	tbl := newJobTable(1, 0, time.Hour, 20*time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	j, err := tbl.submit("solve", cancel, func(j *job) {
+		<-ctx.Done()
+		j.finish(jobResult{status: jobCancelled, err: ctx.Err().Error(), failureKind: string(auditgame.FailCancelled)})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return j.running() }, "job to start")
+	time.Sleep(30 * time.Millisecond)
+	tbl.sweep()
+	waitFor(t, 2*time.Second, func() bool { return j.snapshot().Status == jobCancelled }, "reaped job to finish")
+	if d := j.snapshot().Detail; !strings.Contains(d, "watchdog") {
+		t.Fatalf("reaped job detail %q does not name the watchdog", d)
+	}
+}
+
+func TestSolveBackpressureHTTP(t *testing.T) {
+	// One concurrency slot, no queue: with a slow solve occupying the
+	// slot, the next POST /v1/solve must answer 429 with a Retry-After.
+	fault.Enable(fault.Plan{Seed: 7, Rules: []fault.Rule{
+		{Point: fault.SolverPricingRound, Mode: fault.ModeLatency, Prob: 1, Latency: 250 * time.Millisecond},
+	}})
+	defer fault.Disable()
+
+	a, err := auditgame.NewAuditor(auditgame.AuditorConfig{
+		Workload: "syna", Budget: 8, Method: auditgame.MethodCGGS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Auditor: a, MaxQueuedSolves: -1})
+
+	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first solve: %d %s", resp.StatusCode, body)
+	}
+	var first JobResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/solve", SolveRequest{})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second solve while busy: %d %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+
+	waitFor(t, 30*time.Second, func() bool {
+		var j JobResponse
+		getJSON(t, ts.URL+"/v1/solve/"+first.JobID, &j)
+		return j.Status == jobDone
+	}, "first solve to finish")
+
+	// Slot free again: the next submission is accepted.
+	fault.Disable()
+	resp, body = postJSON(t, ts.URL+"/v1/solve", SolveRequest{})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-drain solve: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestHandlerFaultInjection(t *testing.T) {
+	_, ts := newTestServer(t, Config{Auditor: solvedAuditor(t)})
+	fault.Enable(fault.Plan{Seed: 8, Rules: []fault.Rule{
+		{Point: fault.HTTPHandler, Mode: fault.ModeError, Prob: 1, MaxFires: 1},
+	}})
+	defer fault.Disable()
+
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("injected handler fault: %d, want 500", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("after the fault's MaxFires: %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestBodyCap413(t *testing.T) {
+	_, ts := newTestServer(t, Config{Auditor: solvedAuditor(t), MaxBodyBytes: 64})
+	big := SelectRequest{Counts: make([]int, 4096)}
+	resp, body := postJSON(t, ts.URL+"/v1/select", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d %s, want 413", resp.StatusCode, body)
+	}
+}
+
+// TestCheckpointSeededFromStartupPolicy pins that a policy installed
+// before the server was built (the -solve-on-start path) is
+// checkpointed at construction: without the seed write, a crash before
+// the next install would lose the startup solve.
+func TestCheckpointSeededFromStartupPolicy(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "checkpoint.json")
+	a := solvedAuditor(t) // installs version 1 before the server exists
+	newTestServer(t, Config{Auditor: a, CheckpointPath: ckpt})
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint not seeded from the startup policy: %v", err)
+	}
+	a2, err := auditgame.NewAuditor(auditgame.AuditorConfig{
+		Workload: "syna", Budget: 8, Method: auditgame.MethodExact,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newTestServer(t, Config{Auditor: a2, CheckpointPath: ckpt})
+	if v := a2.PolicyVersion(); v != 1 {
+		t.Fatalf("restored version %d from the seeded checkpoint, want 1", v)
+	}
+}
+
+func TestCheckpointRestoreAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "checkpoint.json")
+
+	// First process: solve, then install once more through the hook, so
+	// the restored checkpoint is a post-seed version.
+	a1 := solvedAuditor(t)
+	s1, _ := newTestServer(t, Config{Auditor: a1, CheckpointPath: ckpt})
+	pol, v1 := a1.CurrentPolicy()
+	if err := a1.SetPolicy(pol); err != nil { // install #2 → checkpoint write
+		t.Fatal(err)
+	}
+	if v := a1.PolicyVersion(); v != v1+1 {
+		t.Fatalf("version after reinstall: %d", v)
+	}
+	if restored, werr := s1.checkpointState(); restored != 0 || werr != nil {
+		t.Fatalf("first process checkpoint state: restored=%d err=%v", restored, werr)
+	}
+
+	// "Crash": build a fresh session from the same binding (no solve)
+	// and point a new server at the checkpoint. It must serve the same
+	// policy under the same version before any solve, and report
+	// recovered.
+	a2, err := auditgame.NewAuditor(auditgame.AuditorConfig{
+		Workload: "syna", Budget: 8, Method: auditgame.MethodExact,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := newTestServer(t, Config{Auditor: a2, CheckpointPath: ckpt})
+	if v := a2.PolicyVersion(); v != v1+1 {
+		t.Fatalf("restored version %d, want %d", v, v1+1)
+	}
+	var h HealthResponse
+	getJSON(t, ts2.URL+"/healthz", &h)
+	if h.Status != healthRecovered || !h.RestoredFromCheckpoint || h.PolicyVersion != v1+1 {
+		t.Fatalf("health after restore: %+v", h)
+	}
+	var sel SelectResponse
+	resp, body := postJSON(t, ts2.URL+"/v1/select", SelectRequest{Counts: []int{5, 5, 5, 5}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("select on restored policy: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &sel); err != nil {
+		t.Fatal(err)
+	}
+	if sel.PolicyVersion != v1+1 {
+		t.Fatalf("select served version %d, want %d", sel.PolicyVersion, v1+1)
+	}
+
+	// A fresh install supersedes the restored checkpoint: healthz moves
+	// back to ok.
+	p2, _ := a2.CurrentPolicy()
+	if err := a2.SetPolicy(p2); err != nil {
+		t.Fatal(err)
+	}
+	var h2 HealthResponse // fresh: omitempty fields would survive a re-decode
+	getJSON(t, ts2.URL+"/healthz", &h2)
+	if h2.Status != healthOK || h2.RestoredFromCheckpoint {
+		t.Fatalf("health after supersede: %+v", h2)
+	}
+}
+
+func TestCheckpointWriteFailureDegrades(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "checkpoint.json")
+	a := solvedAuditor(t)
+	_, ts := newTestServer(t, Config{Auditor: a, CheckpointPath: ckpt})
+
+	fault.Enable(fault.Plan{Seed: 9, Rules: []fault.Rule{
+		{Point: fault.PolicyInstall, Mode: fault.ModeError, Prob: 1, MaxFires: 1},
+	}})
+	defer fault.Disable()
+
+	p, _ := a.CurrentPolicy()
+	if err := a.SetPolicy(p); err != nil { // checkpoint write fails (injected)
+		t.Fatal(err)
+	}
+	var h HealthResponse
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.Status != healthDegraded || h.CheckpointError == "" {
+		t.Fatalf("health after failed checkpoint write: %+v", h)
+	}
+	// The policy itself still installed — checkpointing degrades, never
+	// blocks serving.
+	if h.PolicyVersion != 2 {
+		t.Fatalf("policy version %d, want 2", h.PolicyVersion)
+	}
+
+	if err := a.SetPolicy(p); err != nil { // fault exhausted; write lands
+		t.Fatal(err)
+	}
+	var h2 HealthResponse // fresh: omitempty fields would survive a re-decode
+	getJSON(t, ts.URL+"/healthz", &h2)
+	if h2.Status != healthOK || h2.CheckpointError != "" {
+		t.Fatalf("health after recovered checkpoint write: %+v", h2)
+	}
+}

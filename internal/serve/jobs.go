@@ -9,70 +9,138 @@ import (
 	"auditgame"
 )
 
-// Job states. A job leaves "running" exactly once.
+// Job states. A job leaves the active states (queued, running) exactly
+// once.
 const (
+	jobQueued    = "queued"
 	jobRunning   = "running"
 	jobDone      = "done"
 	jobError     = "error"
 	jobCancelled = "cancelled"
 )
 
-// job tracks one async solve or refit: its cancel handle while running
+// job tracks one async solve or refit: its cancel handle while active
 // and its outcome afterwards.
 type job struct {
 	id     string
+	kind   string
 	cancel context.CancelFunc
+	run    func() // started by the table when a concurrency slot frees
 
 	mu            sync.Mutex
 	status        string
 	err           string
+	failureKind   string
 	policyVersion uint64
 	expectedLoss  float64
 	detail        string
+	outcome       string
 	warm          *auditgame.WarmStats
+	created       time.Time
 	started       time.Time
 	finished      time.Time
+	reaped        bool
+}
+
+// jobResult is a finished job's outcome, applied by finish.
+type jobResult struct {
+	status        string
+	err           string
+	failureKind   string
+	policyVersion uint64
+	expectedLoss  float64
+	detail        string
+	outcome       string
+	warm          *auditgame.WarmStats
 }
 
 func (j *job) snapshot() JobResponse {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	end := j.finished
-	if end.IsZero() {
-		end = time.Now()
+	var elapsed float64
+	if !j.started.IsZero() {
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		elapsed = end.Sub(j.started).Seconds()
 	}
 	return JobResponse{
 		V:              APIVersion,
 		JobID:          j.id,
 		Status:         j.status,
 		Error:          j.err,
+		FailureKind:    j.failureKind,
 		PolicyVersion:  j.policyVersion,
 		ExpectedLoss:   j.expectedLoss,
-		ElapsedSeconds: end.Sub(j.started).Seconds(),
+		ElapsedSeconds: elapsed,
 		Detail:         j.detail,
+		Outcome:        j.outcome,
 		Warm:           j.warm,
 	}
 }
 
-// running reports whether the job has not finished yet.
+// active reports whether the job has not finished yet (queued or
+// running).
+func (j *job) active() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == jobQueued || j.status == jobRunning
+}
+
+// running reports whether the job is currently executing.
 func (j *job) running() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.status == jobRunning
 }
 
-func (j *job) finish(status, errMsg string, version uint64, loss float64, detail string, warm *auditgame.WarmStats) {
+// markStarted moves a queued job to running; it reports false if the job
+// was cancelled while waiting in the queue.
+func (j *job) markStarted() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.status != jobRunning {
+	if j.status != jobQueued {
+		return false
+	}
+	j.status = jobRunning
+	j.started = time.Now()
+	return true
+}
+
+func (j *job) finish(r jobResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != jobQueued && j.status != jobRunning {
 		return
 	}
-	j.status = status
-	j.err = errMsg
-	j.policyVersion = version
-	j.expectedLoss = loss
-	j.detail = detail
-	j.warm = warm
+	j.status = r.status
+	j.err = r.err
+	j.failureKind = r.failureKind
+	j.policyVersion = r.policyVersion
+	j.expectedLoss = r.expectedLoss
+	j.detail = r.detail
+	j.outcome = r.outcome
+	j.warm = r.warm
+	j.finished = time.Now()
+	if j.reaped && j.status == jobCancelled {
+		j.detail = "reaped by watchdog: exceeded the stuck-job timeout"
+	}
+}
+
+// finishIfQueued finishes a still-queued job as cancelled — a queued job
+// has no goroutine to observe its context's cancellation, so DELETE
+// finishes it directly (the queue pop skips finished jobs). Running jobs
+// are finished by their own goroutine when the solve returns.
+func (j *job) finishIfQueued() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != jobQueued {
+		return
+	}
+	j.status = jobCancelled
+	j.err = "cancelled before starting"
+	j.failureKind = string(auditgame.FailCancelled)
 	j.finished = time.Now()
 }
 
@@ -83,34 +151,108 @@ func (j *job) warmStats() *auditgame.WarmStats {
 	return j.warm
 }
 
+// lastOutcome returns the finished job's refit outcome label, or "".
+func (j *job) lastOutcome() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.outcome
+}
+
+// errQueueFull is the backpressure signal: the solve queue is at
+// capacity. The handler answers 429 with a Retry-After.
+var errQueueFull = fmt.Errorf("solve queue is full; retry later")
+
 // jobTable is the registry behind /v1/solve: requested solves and
-// drift-triggered refits share it, distinguished by their id prefix.
-// Finished jobs are kept so their outcome stays pollable; a serving
-// process runs a handful of solves a day, so growth is not a concern.
+// drift-triggered refits share it, distinguished by their id prefix. It
+// bounds the blast radius of a solve storm three ways: at most
+// maxConcurrent jobs execute at once (excess jobs queue), the queue
+// itself is bounded (excess submissions are rejected with backpressure),
+// and finished jobs are evicted after ttl so the table cannot grow
+// without bound over a long-lived serving process. A watchdog sweep
+// additionally reaps jobs stuck running past stuckAfter by cancelling
+// their contexts.
 type jobTable struct {
-	mu   sync.Mutex
-	seq  int
-	jobs map[string]*job
+	maxConcurrent int
+	maxQueued     int
+	ttl           time.Duration // <= 0 keeps finished jobs forever
+	stuckAfter    time.Duration // <= 0 never reaps
+
+	mu      sync.Mutex
+	seq     int
+	jobs    map[string]*job
+	queue   []*job
+	running int
+	evicted uint64
 }
 
-func newJobTable() *jobTable {
-	return &jobTable{jobs: make(map[string]*job)}
+func newJobTable(maxConcurrent, maxQueued int, ttl, stuckAfter time.Duration) *jobTable {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if maxQueued < 0 {
+		maxQueued = 0
+	}
+	return &jobTable{
+		maxConcurrent: maxConcurrent,
+		maxQueued:     maxQueued,
+		ttl:           ttl,
+		stuckAfter:    stuckAfter,
+		jobs:          make(map[string]*job),
+	}
 }
 
-// create registers a running job of the given kind ("solve" or
-// "refit"); the kind prefixes the id.
-func (t *jobTable) create(kind string, cancel context.CancelFunc) *job {
+// submit registers a job of the given kind ("solve" or "refit"; the kind
+// prefixes the id) and either starts it immediately or queues it behind
+// the running ones. run executes on its own goroutine once a concurrency
+// slot frees. A full queue returns errQueueFull and runs nothing.
+func (t *jobTable) submit(kind string, cancel context.CancelFunc, run func(j *job)) (*job, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.sweepLocked(time.Now())
+	if t.running >= t.maxConcurrent && len(t.queue) >= t.maxQueued {
+		return nil, errQueueFull
+	}
 	t.seq++
 	j := &job{
 		id:      fmt.Sprintf("%s-%d", kind, t.seq),
+		kind:    kind,
 		cancel:  cancel,
-		status:  jobRunning,
-		started: time.Now(),
+		status:  jobQueued,
+		created: time.Now(),
 	}
+	j.run = func() { run(j) }
 	t.jobs[j.id] = j
-	return j
+	if t.running < t.maxConcurrent {
+		t.startLocked(j)
+	} else {
+		t.queue = append(t.queue, j)
+	}
+	return j, nil
+}
+
+// startLocked moves j to running and launches its goroutine. Callers
+// hold t.mu.
+func (t *jobTable) startLocked(j *job) {
+	if !j.markStarted() {
+		return // cancelled while queued
+	}
+	t.running++
+	go func() {
+		defer t.release()
+		j.run()
+	}()
+}
+
+// release frees a concurrency slot and starts the next queued job.
+func (t *jobTable) release() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.running--
+	for t.running < t.maxConcurrent && len(t.queue) > 0 {
+		j := t.queue[0]
+		t.queue = t.queue[1:]
+		t.startLocked(j)
+	}
 }
 
 func (t *jobTable) get(id string) (*job, bool) {
@@ -118,4 +260,68 @@ func (t *jobTable) get(id string) (*job, bool) {
 	defer t.mu.Unlock()
 	j, ok := t.jobs[id]
 	return j, ok
+}
+
+// stats reports the table's load and eviction counters for /healthz.
+func (t *jobTable) stats() (running, queued int, evicted uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.running, len(t.queue), t.evicted
+}
+
+// sweep evicts expired finished jobs and reaps stuck running ones. The
+// watchdog goroutine calls it periodically; submit calls it inline so a
+// server that only ever takes traffic still evicts.
+func (t *jobTable) sweep() {
+	t.mu.Lock()
+	now := time.Now()
+	t.sweepLocked(now)
+	var stuck []*job
+	if t.stuckAfter > 0 {
+		for _, j := range t.jobs {
+			j.mu.Lock()
+			if j.status == jobRunning && now.Sub(j.started) > t.stuckAfter {
+				j.reaped = true
+				stuck = append(stuck, j)
+			}
+			j.mu.Unlock()
+		}
+	}
+	t.mu.Unlock()
+	// Cancel outside both locks: cancellation propagates through the
+	// job's context, the solve returns, and the job finishes as
+	// cancelled with the reaped detail.
+	for _, j := range stuck {
+		j.cancel()
+	}
+}
+
+// sweepLocked evicts finished jobs older than ttl. Callers hold t.mu.
+func (t *jobTable) sweepLocked(now time.Time) {
+	if t.ttl <= 0 {
+		return
+	}
+	for id, j := range t.jobs {
+		j.mu.Lock()
+		expired := !j.finished.IsZero() && now.Sub(j.finished) > t.ttl
+		j.mu.Unlock()
+		if expired {
+			delete(t.jobs, id)
+			t.evicted++
+		}
+	}
+}
+
+// watchdog runs the sweep until ctx is cancelled.
+func (t *jobTable) watchdog(ctx context.Context, every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			t.sweep()
+		}
+	}
 }

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"auditgame"
+	"auditgame/internal/fault"
 )
 
 // Config wires a Server.
@@ -43,6 +44,41 @@ type Config struct {
 	// until done or cancelled; a request's timeout_seconds overrides
 	// for that job.
 	SolveTimeout time.Duration
+	// CheckpointPath is the crash-safe last-known-good policy
+	// checkpoint: every install (solve, refit, reload) writes the
+	// serving policy and its version here atomically (temp file + fsync
+	// + rename), and a restarting server restores it before taking
+	// traffic, serving the pre-crash policy under its pre-crash
+	// policy_version without waiting for a solve. Empty disables
+	// checkpointing.
+	CheckpointPath string
+	// MaxConcurrentSolves caps solve/refit jobs executing at once;
+	// excess submissions queue. Zero means 1 — the Auditor serializes
+	// solves on its own lock anyway, so more concurrency only buys
+	// contention.
+	MaxConcurrentSolves int
+	// MaxQueuedSolves bounds the backpressure queue behind the running
+	// jobs; a submission past the bound is rejected with 429 and a
+	// Retry-After. Zero means 4; negative means no queue (reject
+	// whenever all slots are busy).
+	MaxQueuedSolves int
+	// JobTTL evicts finished jobs from the table this long after they
+	// finish, bounding the table over a long-lived process; /healthz
+	// reports the eviction count. Zero means 1h; negative keeps
+	// finished jobs forever.
+	JobTTL time.Duration
+	// StuckJobTimeout is the watchdog bound: a job still running past
+	// it has its context cancelled (the solve returns within one
+	// pricing round and the job finishes as cancelled). Zero means 15m;
+	// negative disables reaping.
+	StuckJobTimeout time.Duration
+	// MaxBodyBytes caps request bodies. Zero means 1 MiB.
+	MaxBodyBytes int64
+	// ReadHeaderTimeout and IdleTimeout harden Run's listener against
+	// slow-header clients and idle connection pileups. Zero means 5s
+	// and 120s.
+	ReadHeaderTimeout time.Duration
+	IdleTimeout       time.Duration
 	// Logf logs serving events; nil means the standard logger.
 	Logf func(format string, args ...any)
 }
@@ -72,6 +108,15 @@ type Server struct {
 	// stacking a second solve.
 	refitMu    sync.Mutex
 	refitJobID string
+
+	// ckptMu guards the checkpoint machinery's observable state:
+	// restoredVersion is non-zero when this process started by restoring
+	// a checkpoint (and still serves it un-superseded → /healthz says
+	// "recovered"); ckptErr is the last checkpoint-write failure
+	// (→ "degraded" until a later write succeeds).
+	ckptMu          sync.Mutex
+	restoredVersion uint64
+	ckptErr         error
 }
 
 // New validates cfg and builds the server. If cfg.PolicyPath exists, the
@@ -84,20 +129,74 @@ func New(cfg Config) (*Server, error) {
 	if cfg.PollInterval == 0 {
 		cfg.PollInterval = 2 * time.Second
 	}
+	if cfg.MaxConcurrentSolves == 0 {
+		cfg.MaxConcurrentSolves = 1
+	}
+	if cfg.MaxQueuedSolves == 0 {
+		cfg.MaxQueuedSolves = 4
+	}
+	if cfg.JobTTL == 0 {
+		cfg.JobTTL = time.Hour
+	}
+	if cfg.StuckJobTimeout == 0 {
+		cfg.StuckJobTimeout = 15 * time.Minute
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.ReadHeaderTimeout == 0 {
+		cfg.ReadHeaderTimeout = 5 * time.Second
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 120 * time.Second
+	}
 	s := &Server{
 		cfg:     cfg,
 		aud:     cfg.Auditor,
 		logf:    cfg.Logf,
 		start:   time.Now(),
-		jobs:    newJobTable(),
+		jobs:    newJobTable(cfg.MaxConcurrentSolves, cfg.MaxQueuedSolves, cfg.JobTTL, cfg.StuckJobTimeout),
 		baseCtx: context.Background(),
 	}
 	if s.logf == nil {
 		s.logf = log.Printf
 	}
+
+	// Crash recovery: restore the last-known-good checkpoint before the
+	// artifact load, so a restarting server serves the pre-crash policy
+	// under its pre-crash version before any solve runs. Every later
+	// install writes the checkpoint through the Auditor's install hook.
+	restored := false
+	if cfg.CheckpointPath != "" {
+		switch v, err := s.restoreCheckpoint(); {
+		case err == nil && v > 0:
+			restored = true
+			s.logf("serve: restored checkpointed policy version %d from %s", v, cfg.CheckpointPath)
+		case err != nil:
+			return nil, fmt.Errorf("serve: checkpoint restore: %w", err)
+		}
+		s.aud.OnInstall(s.writeCheckpoint)
+		// Seed the checkpoint from a policy that was installed before the
+		// hook existed (a startup solve runs before the server is built);
+		// without this, a crash before the next install would lose it.
+		if p, v := s.aud.CurrentPolicy(); p != nil && !restored {
+			s.writeCheckpoint(p, v)
+		}
+	}
+
 	if cfg.PolicyPath != "" {
 		_, err := os.Stat(cfg.PolicyPath)
 		switch {
+		case err == nil && restored:
+			// The checkpoint is written on every install, so it is at
+			// least as fresh as the artifact this process wrote; record
+			// the artifact's fingerprint as seen so the mtime poll does
+			// not immediately reinstall it over the restored policy. An
+			// artifact that changes after startup (a real deploy) still
+			// reloads normally.
+			if fi, serr := os.Stat(cfg.PolicyPath); serr == nil {
+				s.lastMod, s.lastSize = fi.ModTime(), fi.Size()
+			}
 		case err == nil:
 			if err := s.Reload(); err != nil {
 				return nil, fmt.Errorf("serve: initial policy load: %w", err)
@@ -124,7 +223,29 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/solve/{id}", s.handleJobStatus)
 	mux.HandleFunc("DELETE /v1/solve/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	return mux
+	return s.contain(mux)
+}
+
+// contain is the outermost request guard: the serve.handler fault point
+// plus a recover barrier, so a panicking handler answers 500 instead of
+// killing the connection (and, for panics escaping a handler goroutine,
+// the process).
+func (s *Server) contain(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.logf("serve: panic in %s %s: %v", r.Method, r.URL.Path, rec)
+				// If the handler already wrote headers this write is a
+				// no-op on the status; the body still notes the failure.
+				writeErr(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+			}
+		}()
+		if err := fault.Inject(fault.HTTPHandler); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 // Run serves on addr until ctx is cancelled, then shuts down gracefully
@@ -135,11 +256,17 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 	s.baseCtx = ctx
 	s.baseMu.Unlock()
 
-	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+	}
 
 	watchCtx, stopWatch := context.WithCancel(ctx)
 	defer stopWatch()
 	go s.watch(watchCtx)
+	go s.jobs.watchdog(watchCtx, 15*time.Second)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
@@ -245,7 +372,7 @@ func (s *Server) loadLocked() error {
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	var req SelectRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	sel, version, err := s.aud.SelectVersioned(req.Counts)
@@ -284,7 +411,7 @@ func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req SolveRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	timeout := s.cfg.SolveTimeout
@@ -295,23 +422,35 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx, cancel := s.jobContext(timeout)
-	j := s.jobs.create("solve", cancel)
-
-	go func() {
+	j, err := s.jobs.submit("solve", cancel, func(j *job) {
 		defer cancel()
+		if err := fault.Inject(fault.JobRunner); err != nil {
+			j.finish(jobResult{status: jobError, err: err.Error(), failureKind: string(auditgame.ClassifyFailure(err))})
+			s.logf("serve: solve %s failed: %v", j.id, err)
+			return
+		}
 		res, err := s.aud.SolveDetailed(ctx)
-		switch {
-		case err == nil:
-			j.finish(jobDone, "", res.PolicyVersion, res.Policy.ExpectedLoss, "", res.Warm)
+		kind := auditgame.ClassifyFailure(err)
+		switch kind {
+		case "":
+			j.finish(jobResult{status: jobDone, policyVersion: res.PolicyVersion, expectedLoss: res.Policy.ExpectedLoss, warm: res.Warm})
 			s.logf("serve: solve %s done (loss %.4f, policy version %d)", j.id, res.Policy.ExpectedLoss, res.PolicyVersion)
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			j.finish(jobCancelled, err.Error(), 0, 0, "", nil)
+		case auditgame.FailCancelled, auditgame.FailTimeout:
+			j.finish(jobResult{status: jobCancelled, err: err.Error(), failureKind: string(kind)})
 			s.logf("serve: solve %s cancelled: %v", j.id, err)
 		default:
-			j.finish(jobError, err.Error(), 0, 0, "", nil)
-			s.logf("serve: solve %s failed: %v", j.id, err)
+			j.finish(jobResult{status: jobError, err: err.Error(), failureKind: string(kind)})
+			s.logf("serve: solve %s failed (%s): %v", j.id, kind, err)
 		}
-	}()
+	})
+	if err != nil {
+		cancel()
+		// Backpressure: the queue is full. 429 with a Retry-After is the
+		// contract — clients back off instead of stacking solves.
+		w.Header().Set("Retry-After", "5")
+		writeErr(w, http.StatusTooManyRequests, err)
+		return
+	}
 	writeJSON(w, http.StatusAccepted, j.snapshot())
 }
 
@@ -333,7 +472,7 @@ func (s *Server) jobContext(timeout time.Duration) (context.Context, context.Can
 // polling.
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	var req ObserveRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	dec, err := s.aud.Observe(req.Counts)
@@ -363,37 +502,54 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 
 // startRefit launches the drift-triggered re-solve as an async job and
 // returns its id. Single-flight: a firing that lands while a refit job
-// is still running joins that job.
+// is still active joins that job. The refit itself runs through
+// RefitWithRetry, so transient failures back off and retry, and repeated
+// failures open the session's circuit breaker (visible on /healthz and
+// /v1/drift) instead of hammering the solver. A full job queue drops the
+// firing (returns ""): the tracker will fire again on later drift.
 func (s *Server) startRefit() string {
 	s.refitMu.Lock()
 	defer s.refitMu.Unlock()
 	if s.refitJobID != "" {
-		if j, ok := s.jobs.get(s.refitJobID); ok && j.running() {
+		if j, ok := s.jobs.get(s.refitJobID); ok && j.active() {
 			return s.refitJobID
 		}
 	}
 	ctx, cancel := s.jobContext(s.cfg.SolveTimeout)
-	j := s.jobs.create("refit", cancel)
-	s.refitJobID = j.id
-	go func() {
+	j, err := s.jobs.submit("refit", cancel, func(j *job) {
 		defer cancel()
-		out, err := s.aud.Refit(ctx)
+		if err := fault.Inject(fault.JobRunner); err != nil {
+			j.finish(jobResult{status: jobError, err: err.Error(), failureKind: string(auditgame.ClassifyFailure(err))})
+			s.logf("serve: refit %s failed: %v", j.id, err)
+			return
+		}
+		out, rerr := s.aud.RefitWithRetry(ctx)
+		kind := auditgame.ClassifyFailure(rerr)
 		switch {
-		case err == nil && out.Installed:
-			j.finish(jobDone, "", out.PolicyVersion, out.NewLoss, out.Reason, out.Warm)
+		case rerr == nil && out.Installed:
+			j.finish(jobResult{status: jobDone, policyVersion: out.PolicyVersion, expectedLoss: out.NewLoss, detail: out.Reason, outcome: out.Outcome, warm: out.Warm})
 			s.logf("serve: refit %s installed policy version %d (loss %.4f, warm=%v)", j.id, out.PolicyVersion, out.NewLoss, out.Warm != nil && out.Warm.Warm)
 			s.persistCurrentPolicy()
-		case err == nil:
-			j.finish(jobDone, "", 0, out.NewLoss, out.Reason, out.Warm)
-			s.logf("serve: refit %s kept the current policy: %s", j.id, out.Reason)
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			j.finish(jobCancelled, err.Error(), 0, 0, "", nil)
-			s.logf("serve: refit %s cancelled: %v", j.id, err)
+		case rerr == nil:
+			j.finish(jobResult{status: jobDone, expectedLoss: out.NewLoss, detail: out.Reason, outcome: out.Outcome, warm: out.Warm})
+			s.logf("serve: refit %s kept the current policy (%s): %s", j.id, out.Outcome, out.Reason)
+		case errors.Is(rerr, auditgame.ErrBreakerOpen):
+			j.finish(jobResult{status: jobError, err: rerr.Error(), failureKind: string(kind), detail: "refit circuit breaker open; serving the incumbent policy"})
+			s.logf("serve: refit %s rejected: %v", j.id, rerr)
+		case kind == auditgame.FailCancelled, kind == auditgame.FailTimeout:
+			j.finish(jobResult{status: jobCancelled, err: rerr.Error(), failureKind: string(kind)})
+			s.logf("serve: refit %s cancelled: %v", j.id, rerr)
 		default:
-			j.finish(jobError, err.Error(), 0, 0, "", nil)
-			s.logf("serve: refit %s failed: %v", j.id, err)
+			j.finish(jobResult{status: jobError, err: rerr.Error(), failureKind: string(kind)})
+			s.logf("serve: refit %s failed (%s): %v", j.id, kind, rerr)
 		}
-	}()
+	})
+	if err != nil {
+		cancel()
+		s.logf("serve: drift fired but the job queue is full; refit dropped")
+		return ""
+	}
+	s.refitJobID = j.id
 	return j.id
 }
 
@@ -446,12 +602,15 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 		resp.Attached = true
 		st := tr.State()
 		resp.State = &st
+		h := s.aud.RefitHealth()
+		resp.RefitHealth = &h
 		s.refitMu.Lock()
 		resp.RefitJobID = s.refitJobID
 		s.refitMu.Unlock()
 		if resp.RefitJobID != "" {
 			if j, ok := s.jobs.get(resp.RefitJobID); ok {
 				resp.LastRefitWarm = j.warmStats()
+				resp.LastRefitOutcome = j.lastOutcome()
 			}
 		}
 	}
@@ -474,27 +633,63 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.cancel()
+	j.finishIfQueued()
 	writeJSON(w, http.StatusOK, j.snapshot())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	p, version := s.aud.CurrentPolicy()
-	writeJSON(w, http.StatusOK, HealthResponse{
+	running, queued, evicted := s.jobs.stats()
+	restoredVersion, ckptErr := s.checkpointState()
+
+	resp := HealthResponse{
 		V:             APIVersion,
-		Status:        "ok",
+		Status:        healthOK,
 		PolicyLoaded:  p != nil,
 		PolicyVersion: version,
 		UptimeSeconds: time.Since(s.start).Seconds(),
-	})
+		JobsRunning:   running,
+		JobsQueued:    queued,
+		JobsEvicted:   evicted,
+	}
+	if s.aud.Tracker() != nil {
+		h := s.aud.RefitHealth()
+		resp.RefitHealth = &h
+	}
+	if ckptErr != nil {
+		resp.CheckpointError = ckptErr.Error()
+	}
+	if restoredVersion != 0 {
+		resp.RestoredFromCheckpoint = true
+	}
+	switch {
+	case ckptErr != nil, resp.RefitHealth != nil && resp.RefitHealth.BreakerOpen:
+		// Still serving, but a containment mechanism is engaged: the
+		// last checkpoint write failed (a crash now would lose the
+		// newest policy) or the refit breaker has parked the tracker.
+		resp.Status = healthDegraded
+	case restoredVersion != 0:
+		// Serving a crash-restored checkpoint that no fresh install has
+		// superseded yet.
+		resp.Status = healthRecovered
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- plumbing ---
 
-// decode parses a JSON body and enforces the wire version. It writes the
-// error response itself and reports whether the caller should proceed.
-func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+// decode parses a JSON body and enforces the wire version and the body
+// cap. It writes the error response itself and reports whether the
+// caller should proceed.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err := dec.Decode(dst); err != nil && !errors.Is(err, io.EOF) {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
 		// An empty body is the zero-value request: every field of every
 		// request type is optional.
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))

@@ -25,7 +25,8 @@ type BruteForceResult struct {
 // ordering LP to optimality at each, and returns the best. Exponential in
 // |T|; it exists as ground truth for the controlled evaluation. The
 // context is checked at every explored grid point.
-func BruteForce(ctx context.Context, in *game.Instance) (*BruteForceResult, error) {
+func BruteForce(ctx context.Context, in *game.Instance) (result *BruteForceResult, err error) {
+	defer contain("brute", &err)
 	nT := in.G.NumTypes()
 	if nT > 6 {
 		return nil, fmt.Errorf("solver: brute force over %d types is intractable; use ISHM", nT)

@@ -124,7 +124,8 @@ func CGGSWithStats(ctx context.Context, in *game.Instance, b game.Thresholds, op
 // that. This is the "solving the linear program to optimality" inner
 // solver used for Tables III, IV and VI (γ¹). The context is checked on
 // entry; the single SolveFixed over all orderings is not interruptible.
-func Exact(ctx context.Context, in *game.Instance, b game.Thresholds) (*MixedPolicy, error) {
+func Exact(ctx context.Context, in *game.Instance, b game.Thresholds) (pol *MixedPolicy, err error) {
+	defer contain("exact", &err)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

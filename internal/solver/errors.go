@@ -1,0 +1,124 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Failure containment: every solver entry point (SolveState.Solve and
+// Refit, ISHM, Exact, BruteForce) converts panics — its own, or ones
+// surfacing from the detection-probability kernel's worker goroutines —
+// into a typed *SolveError instead of killing the process, and
+// classifies every failure into the taxonomy the serving layer surfaces
+// (panic / timeout / cancelled / transient / internal). A failed or
+// panicked solve never leaves the incumbent policy or a persisted
+// SolveState half-updated: state is replaced only on success, and any
+// failure additionally invalidates the warm state so the next solve
+// falls back cold (see SolveState.contain).
+
+// FailureKind classifies how a solve failed — the taxonomy surfaced on
+// solve-job DTOs and GET /v1/drift.
+type FailureKind string
+
+const (
+	// FailPanic is a recovered panic (a programming error or injected
+	// chaos) converted to an error by a containment guard.
+	FailPanic FailureKind = "panic"
+	// FailTimeout is a context deadline expiry.
+	FailTimeout FailureKind = "timeout"
+	// FailCancelled is an explicit context cancellation.
+	FailCancelled FailureKind = "cancelled"
+	// FailTransient is a recoverable fault (an error reporting
+	// Transient() == true, e.g. injected chaos errors) that retry
+	// machinery may absorb.
+	FailTransient FailureKind = "transient"
+	// FailInternal is everything else: numerical failures, malformed
+	// inputs, logic errors.
+	FailInternal FailureKind = "internal"
+)
+
+// SolveError is the typed failure of a solver entry point.
+type SolveError struct {
+	// Op names the entry point that failed ("cggs.solve",
+	// "cggs.refit", "ishm", ...).
+	Op string
+	// Kind is the failure classification.
+	Kind FailureKind
+	// Err is the underlying cause; for recovered panics it wraps the
+	// panic value.
+	Err error
+	// Stack is the goroutine stack captured at recovery, for FailPanic.
+	Stack []byte
+}
+
+func (e *SolveError) Error() string {
+	return fmt.Sprintf("solver: %s failed (%s): %v", e.Op, e.Kind, e.Err)
+}
+
+func (e *SolveError) Unwrap() error { return e.Err }
+
+// transient is the interface recoverable errors implement (fault.Error
+// does); Classify maps them to FailTransient.
+type transient interface{ Transient() bool }
+
+// Classify maps any error from the solver stack onto the failure
+// taxonomy. A nil error classifies as "".
+func Classify(err error) FailureKind {
+	if err == nil {
+		return ""
+	}
+	var se *SolveError
+	if errors.As(err, &se) {
+		return se.Kind
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return FailTimeout
+	case errors.Is(err, context.Canceled):
+		return FailCancelled
+	}
+	var tr transient
+	if errors.As(err, &tr) && tr.Transient() {
+		return FailTransient
+	}
+	return FailInternal
+}
+
+// asSolveError wraps err as a classified *SolveError for op, leaving an
+// existing *SolveError untouched (guards may nest: Refit falls back to
+// Solve, which carries its own guard).
+func asSolveError(op string, err error) error {
+	var se *SolveError
+	if errors.As(err, &se) {
+		return err
+	}
+	return &SolveError{Op: op, Kind: Classify(err), Err: err}
+}
+
+// panicToError converts a recovered panic value into a *SolveError,
+// preserving an already-typed error that was panicked through an
+// error-free kernel (the pal worker loop and the simplex pivot loop
+// panic with their injected faults; the guard restores them to errors
+// with their original classification).
+func panicToError(op string, r any) error {
+	if _, isRuntime := r.(runtime.Error); !isRuntime {
+		if err, ok := r.(error); ok {
+			return &SolveError{Op: op, Kind: Classify(err), Err: err, Stack: debug.Stack()}
+		}
+	}
+	return &SolveError{Op: op, Kind: FailPanic, Err: fmt.Errorf("panic: %v", r), Stack: debug.Stack()}
+}
+
+// contain is the deferred containment guard of a solver entry point: it
+// recovers a panic into *errp as a typed *SolveError and classifies any
+// other failure. Use as `defer contain(op, &err)`.
+func contain(op string, errp *error) {
+	if r := recover(); r != nil {
+		*errp = panicToError(op, r)
+	} else if *errp != nil {
+		*errp = asSolveError(op, *errp)
+	}
+}

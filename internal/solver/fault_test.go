@@ -1,0 +1,178 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"auditgame/internal/fault"
+	"auditgame/internal/game"
+)
+
+// TestPivotFaultContained injects a fault into the simplex pivot loop — a
+// panic-only point with no error return — and checks it surfaces as a
+// typed *SolveError instead of killing the process.
+func TestPivotFaultContained(t *testing.T) {
+	fault.Enable(fault.Plan{Seed: 1, Rules: []fault.Rule{
+		{Point: fault.LPPivot, Mode: fault.ModeError, Prob: 1, MaxFires: 1},
+	}})
+	defer fault.Disable()
+
+	st := NewSolveState(CGGSOptions{})
+	_, err := st.Solve(context.Background(), instanceOf(t, testGame(), 2), game.Thresholds{2, 2, 2})
+	if err == nil {
+		t.Fatal("injected pivot fault did not surface")
+	}
+	var se *SolveError
+	if !errors.As(err, &se) {
+		t.Fatalf("error not a *SolveError: %T %v", err, err)
+	}
+	if !fault.IsInjected(err) {
+		t.Fatalf("injected fault not recognized through the wrap: %v", err)
+	}
+	if se.Kind != FailTransient {
+		t.Fatalf("injected fault classified %v, want %v", se.Kind, FailTransient)
+	}
+}
+
+// TestPalWorkerPanicContained fires the pal-kernel fault point, which
+// panics inside worker goroutines (or the serial loop); the panic must be
+// re-raised on the solving goroutine and converted to a *SolveError there.
+func TestPalWorkerPanicContained(t *testing.T) {
+	fault.Enable(fault.Plan{Seed: 2, Rules: []fault.Rule{
+		{Point: fault.PalWorker, Mode: fault.ModeError, Prob: 1, MaxFires: 1},
+	}})
+	defer fault.Disable()
+
+	st := NewSolveState(CGGSOptions{})
+	_, err := st.Solve(context.Background(), instanceOf(t, testGame(), 2), game.Thresholds{2, 2, 2})
+	if err == nil {
+		t.Fatal("injected pal fault did not surface")
+	}
+	var se *SolveError
+	if !errors.As(err, &se) {
+		t.Fatalf("error not a *SolveError: %T %v", err, err)
+	}
+	if !fault.IsInjected(err) {
+		t.Fatalf("injected fault not recognized through the wrap: %v", err)
+	}
+}
+
+// TestRuntimePanicClassifiedAsPanic: a genuine runtime panic (not an
+// injected error value) must classify FailPanic and carry a stack.
+func TestRuntimePanicClassifiedAsPanic(t *testing.T) {
+	boom := func(ctx context.Context, in *game.Instance, b game.Thresholds) (*MixedPolicy, error) {
+		var s []int
+		_ = s[3] // index out of range: runtime.Error
+		return nil, nil
+	}
+	_, err := ISHM(context.Background(), instanceOf(t, testGame(), 2), ISHMOptions{
+		Epsilon: 0.5, Inner: boom, EvaluateInitial: true,
+	})
+	var se *SolveError
+	if !errors.As(err, &se) {
+		t.Fatalf("error not a *SolveError: %T %v", err, err)
+	}
+	if se.Kind != FailPanic {
+		t.Fatalf("runtime panic classified %v, want %v", se.Kind, FailPanic)
+	}
+	if len(se.Stack) == 0 {
+		t.Fatal("panic SolveError carries no stack")
+	}
+}
+
+// TestWarmStatePoisoningGuard: a fault mid-warm-refit must invalidate the
+// persisted warm state, so the next refit runs cold and reproduces the
+// fault-free cold solve exactly — a failed warm attempt can cost time,
+// never correctness.
+func TestWarmStatePoisoningGuard(t *testing.T) {
+	ctx := context.Background()
+	b := game.Thresholds{2, 2, 2}
+	opts := CGGSOptions{ExhaustiveOracle: true}
+
+	st := NewSolveState(opts)
+	if _, err := st.Solve(ctx, instanceOf(t, testGame(), 2), b); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail the warm refit at its first pricing round.
+	fault.Enable(fault.Plan{Seed: 3, Rules: []fault.Rule{
+		{Point: fault.SolverPricingRound, Mode: fault.ModeError, Prob: 1, MaxFires: 1},
+	}})
+	tv := perTypeTV(t, testGame(), driftedGame())
+	_, err := st.Refit(ctx, instanceOf(t, driftedGame(), 2), b, tv)
+	fault.Disable()
+	if err == nil {
+		t.Fatal("injected refit fault did not surface")
+	}
+
+	// The next refit of a compatible instance must NOT run warm.
+	refitPol, err := st.Refit(ctx, instanceOf(t, driftedGame(), 2), b, tv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WarmStats().Warm {
+		t.Fatal("warm state survived a failed refit")
+	}
+
+	// And it must agree with a from-scratch cold solve to the bit.
+	cold, err := CGGS(ctx, instanceOf(t, driftedGame(), 2), b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(refitPol.Objective - cold.Objective); d > 1e-9 {
+		t.Fatalf("post-fault cold refit loss %.12f != fresh cold loss %.12f (|Δ|=%g)",
+			refitPol.Objective, cold.Objective, d)
+	}
+}
+
+// TestCancellationPoisonsWarmState: conservative invalidation includes
+// cancellation — a cancelled warm refit leaves st cold for the next solve.
+func TestCancellationPoisonsWarmState(t *testing.T) {
+	ctx := context.Background()
+	b := game.Thresholds{2, 2, 2}
+	st := NewSolveState(CGGSOptions{})
+	if _, err := st.Solve(ctx, instanceOf(t, testGame(), 2), b); err != nil {
+		t.Fatal(err)
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	_, err := st.Refit(cctx, instanceOf(t, driftedGame(), 2), b, nil)
+	if err == nil {
+		t.Fatal("cancelled refit returned no error")
+	}
+	var se *SolveError
+	if !errors.As(err, &se) || se.Kind != FailCancelled {
+		t.Fatalf("cancelled refit error %v, want *SolveError{FailCancelled}", err)
+	}
+
+	if _, err := st.Refit(ctx, instanceOf(t, driftedGame(), 2), b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st.WarmStats().Warm {
+		t.Fatal("warm state survived a cancelled refit")
+	}
+}
+
+// TestFaultDisabledLeavesResultsUntouched: with no plan enabled the
+// injection points must be inert — same objective as always.
+func TestFaultDisabledLeavesResultsUntouched(t *testing.T) {
+	if fault.Enabled() {
+		t.Fatal("fault injection unexpectedly enabled at test start")
+	}
+	ctx := context.Background()
+	b := game.Thresholds{2, 2, 2}
+	a, err := CGGS(ctx, instanceOf(t, testGame(), 2), b, CGGSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpol, err := CGGS(ctx, instanceOf(t, testGame(), 2), b, CGGSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Objective != bpol.Objective {
+		t.Fatalf("determinism broken: %v != %v", a.Objective, bpol.Objective)
+	}
+}

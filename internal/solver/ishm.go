@@ -70,7 +70,8 @@ type ISHMOptions struct {
 // The context is checked before every threshold-candidate evaluation
 // (and inside the ctx-aware inner solvers), so cancellation latency is
 // bounded by one inner LP solve.
-func ISHM(ctx context.Context, in *game.Instance, opts ISHMOptions) (*ISHMResult, error) {
+func ISHM(ctx context.Context, in *game.Instance, opts ISHMOptions) (res *ISHMResult, err error) {
+	defer contain("ishm", &err)
 	if opts.Epsilon <= 0 || opts.Epsilon >= 1 {
 		return nil, fmt.Errorf("solver: ISHM epsilon %v outside (0,1)", opts.Epsilon)
 	}
@@ -237,7 +238,15 @@ func evalAll(temps []game.Thresholds, eval func(game.Thresholds) (*MixedPolicy, 
 		go func() {
 			defer wg.Done()
 			for ci := range next {
-				pol, err := eval(temps[ci])
+				// Contain per evaluation: a panic in a worker (its own,
+				// or re-raised from the pal kernel) becomes this combo's
+				// error instead of killing the process, and the worker
+				// keeps draining the channel so the dispatch loop below
+				// never blocks on a dead consumer.
+				pol, err := func() (p *MixedPolicy, err error) {
+					defer contain("ishm.worker", &err)
+					return eval(temps[ci])
+				}()
 				if err != nil {
 					errMu.Lock()
 					if firstEr == nil {

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 
+	"auditgame/internal/fault"
 	"auditgame/internal/game"
 )
 
@@ -81,9 +82,30 @@ func (st *SolveState) WarmStats() WarmStats { return st.warm }
 // Columns reports the current pool size.
 func (st *SolveState) Columns() int { return len(st.pool) }
 
+// contain is the entry-point guard of a SolveState: panics become
+// typed *SolveErrors, and any failure — error, panic, cancellation —
+// invalidates the persisted warm state so the next solve falls back
+// cold. The invalidation is deliberately conservative: the state fields
+// themselves are replaced only on success, but a failure mid-solve may
+// leave caches (the instance's pal tables, a partially-consumed pool
+// slice) in a shape the screening bounds were never priced against, and
+// a cold re-solve costs time where a poisoned warm start could cost
+// correctness.
+func (st *SolveState) contain(op string, errp *error) {
+	if r := recover(); r != nil {
+		*errp = panicToError(op, r)
+	} else if *errp != nil {
+		*errp = asSolveError(op, *errp)
+	}
+	if *errp != nil {
+		st.valid = false
+	}
+}
+
 // Solve runs a cold column-generation solve (Algorithm 1) and replaces
 // the persisted state with its outcome.
-func (st *SolveState) Solve(ctx context.Context, in *game.Instance, b game.Thresholds) (*MixedPolicy, error) {
+func (st *SolveState) Solve(ctx context.Context, in *game.Instance, b game.Thresholds) (pol *MixedPolicy, err error) {
+	defer st.contain("cggs.solve", &err)
 	nT := in.G.NumTypes()
 	initial := st.opts.Initial
 	if initial == nil {
@@ -107,7 +129,8 @@ func (st *SolveState) Solve(ctx context.Context, in *game.Instance, b game.Thres
 // which pooled columns must be re-priced up front. A nil tv disables
 // screening (every pooled column enters the master), which is still
 // warm. Structural mismatch falls back to a cold Solve.
-func (st *SolveState) Refit(ctx context.Context, in *game.Instance, b game.Thresholds, tv []float64) (*MixedPolicy, error) {
+func (st *SolveState) Refit(ctx context.Context, in *game.Instance, b game.Thresholds, tv []float64) (pol *MixedPolicy, err error) {
+	defer st.contain("cggs.refit", &err)
 	if !st.valid || st.fingerprint != in.StructuralFingerprint() || st.thresholds.Key() != b.Key() {
 		return st.Solve(ctx, in, b)
 	}
@@ -165,6 +188,9 @@ func (st *SolveState) run(ctx context.Context, in *game.Instance, b game.Thresho
 	var res *game.LPResult
 	for {
 		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := fault.Inject(fault.SolverPricingRound); err != nil {
 			return nil, err
 		}
 		var err error

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
+	"time"
 
+	"auditgame/internal/fault"
 	"auditgame/internal/refit"
 )
 
@@ -69,6 +72,83 @@ var ErrNoTracker = errors.New("auditgame: no tracker attached; call AttachTracke
 // queued.
 var ErrRefitInFlight = errors.New("auditgame: a refit is already in flight")
 
+// ErrBreakerOpen is returned by RefitWithRetry while the refit circuit
+// breaker is open: enough consecutive refit failures accumulated that the
+// session parks refitting for the breaker cooldown and keeps serving the
+// incumbent policy.
+var ErrBreakerOpen = errors.New("auditgame: refit circuit breaker is open")
+
+// RetryPolicy bounds the retry loop RefitWithRetry runs around transient
+// refit failures: exponential backoff with jitter, capped attempts.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget (first try included).
+	// Zero means 3; 1 disables retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it. Zero means 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Zero means 5s.
+	MaxDelay time.Duration
+	// JitterSeed seeds the jitter stream (each delay is scaled by a
+	// uniform factor in [0.5, 1.5)) so tests can pin the schedule. Zero
+	// seeds from the session's first use.
+	JitterSeed int64
+}
+
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	if r.MaxAttempts == 0 {
+		r.MaxAttempts = 3
+	}
+	if r.BaseDelay == 0 {
+		r.BaseDelay = 100 * time.Millisecond
+	}
+	if r.MaxDelay == 0 {
+		r.MaxDelay = 5 * time.Second
+	}
+	return r
+}
+
+// BreakerPolicy tunes the refit circuit breaker: after Threshold
+// consecutive failed refits (cancellations and deadline expiries do not
+// count) the breaker opens for Cooldown, during which RefitWithRetry
+// fails fast with ErrBreakerOpen. The first call after the cooldown is
+// the half-open probe: success closes the breaker, failure re-opens it.
+type BreakerPolicy struct {
+	// Threshold is the consecutive-failure count that opens the breaker.
+	// Zero means 5; negative disables the breaker.
+	Threshold int
+	// Cooldown is how long the breaker stays open. Zero means 5m.
+	Cooldown time.Duration
+}
+
+func (b BreakerPolicy) withDefaults() BreakerPolicy {
+	if b.Threshold == 0 {
+		b.Threshold = 5
+	}
+	if b.Cooldown == 0 {
+		b.Cooldown = 5 * time.Minute
+	}
+	return b
+}
+
+// RefitHealth is the observable state of the session's refit machinery —
+// what /healthz and /v1/drift surface so an operator can tell a parked
+// (degraded) tracker from a healthy one.
+type RefitHealth struct {
+	// BreakerOpen reports whether the circuit breaker is currently
+	// rejecting refits; OpenUntil is when the next half-open probe is
+	// allowed.
+	BreakerOpen bool      `json:"breaker_open"`
+	OpenUntil   time.Time `json:"open_until,omitzero"`
+	// ConsecutiveFailures counts refit failures since the last success.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// LastFailure describes the most recent refit failure;
+	// LastFailureKind is its taxonomy classification
+	// (panic/timeout/cancelled/transient/internal).
+	LastFailure     string      `json:"last_failure,omitempty"`
+	LastFailureKind FailureKind `json:"last_failure_kind,omitempty"`
+}
+
 // RefitOptions tunes the session's drift-triggered refit behaviour.
 type RefitOptions struct {
 	// MinLossDelta is the second-stage "policy-moved-enough" gate: the
@@ -94,12 +174,35 @@ type RefitOptions struct {
 	// re-priced before any solve terminates), so this is a
 	// debugging/benchmarking switch, not a safety one.
 	ColdRefit bool
+	// Retry bounds RefitWithRetry's backoff loop around transient
+	// failures; the zero value takes the defaults.
+	Retry RetryPolicy
+	// Breaker tunes the refit circuit breaker; the zero value takes the
+	// defaults.
+	Breaker BreakerPolicy
 }
 
-// RefitOutcome reports one drift-triggered re-solve.
+// RefitOutcome.Outcome values.
+const (
+	// RefitInstalled: the refit policy passed the install gate and is
+	// now the session's current policy.
+	RefitInstalled = "installed"
+	// RefitGated: the solve succeeded but the policy did not move enough
+	// to clear the MinLossDelta gate; the incumbent keeps serving. This
+	// is a healthy outcome, distinct from a solve failure (which is an
+	// error with a FailureKind, never an outcome).
+	RefitGated = "gated"
+)
+
+// RefitOutcome reports one drift-triggered re-solve that completed. A
+// refit whose solve failed never produces an outcome — it returns an
+// error carrying a FailureKind instead, so "gate rejected" and "solve
+// failed" can never be conflated.
 type RefitOutcome struct {
+	// Outcome is RefitInstalled or RefitGated.
+	Outcome string `json:"outcome"`
 	// Installed says the refit policy passed the gate and is now the
-	// session's current policy.
+	// session's current policy (Outcome == RefitInstalled).
 	Installed bool `json:"installed"`
 	// PolicyVersion is the version the refit policy was installed as
 	// (0 when not installed).
@@ -227,6 +330,12 @@ func (a *Auditor) Refit(ctx context.Context) (*RefitOutcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := fault.Inject(fault.RefitSnapshot); err != nil {
+		// Injected here — after the snapshot, before any state is
+		// touched — this models the transient refit failures the retry
+		// loop exists for.
+		return nil, err
+	}
 
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -292,6 +401,7 @@ func (a *Auditor) Refit(ctx context.Context) (*RefitOutcome, error) {
 		out.Improvement = (out.OldLoss - out.NewLoss) / math.Max(math.Abs(out.OldLoss), 1e-9)
 		if gate := b.opts.MinLossDelta; gate >= 0 && out.Improvement <= gate {
 			install = false
+			out.Outcome = RefitGated
 			out.Reason = fmt.Sprintf("policy moved too little: relative improvement %.4f ≤ gate %.4f", out.Improvement, gate)
 		}
 	}
@@ -306,11 +416,147 @@ func (a *Auditor) Refit(ctx context.Context) (*RefitOutcome, error) {
 		// never interleave between the policy swap and the reference
 		// reset.
 		v := a.install(p, newDists)
+		out.Outcome = RefitInstalled
 		out.Installed = true
 		out.PolicyVersion = v
 		out.Reason = fmt.Sprintf("installed as version %d: loss %.4f → %.4f under the refit model", v, out.OldLoss, out.NewLoss)
 	}
 	return out, nil
+}
+
+// RefitWithRetry is Refit wrapped in the session's failure-containment
+// machinery: transient failures (injected chaos, recoverable numerical
+// trouble) are retried with exponential backoff and jitter per
+// RefitOptions.Retry, and consecutive failures are counted against the
+// circuit breaker per RefitOptions.Breaker. While the breaker is open the
+// call fails fast with ErrBreakerOpen — the tracker is parked in a
+// degraded state and the incumbent policy keeps serving; the first call
+// after the cooldown probes half-open.
+//
+// Cancellations and deadline expiries are the caller's doing: they are
+// returned immediately, retried never, and not counted against the
+// breaker. ErrRefitInFlight is likewise returned as-is (another refit is
+// already making progress).
+func (a *Auditor) RefitWithRetry(ctx context.Context) (*RefitOutcome, error) {
+	b := a.refitBinding.Load()
+	if b == nil {
+		return nil, ErrNoTracker
+	}
+	rp := b.opts.Retry.withDefaults()
+	bp := b.opts.Breaker.withDefaults()
+
+	if err := a.breakerAllow(bp); err != nil {
+		return nil, err
+	}
+	for attempt := 1; ; attempt++ {
+		out, err := a.Refit(ctx)
+		if err == nil {
+			a.breakerRecord(nil, bp)
+			return out, nil
+		}
+		if errors.Is(err, ErrRefitInFlight) {
+			return nil, err
+		}
+		kind := ClassifyFailure(err)
+		if kind == FailCancelled || kind == FailTimeout {
+			return nil, err
+		}
+		open := a.breakerRecord(err, bp)
+		if open {
+			return nil, fmt.Errorf("%w (after %d consecutive failures): %v", ErrBreakerOpen, bp.Threshold, err)
+		}
+		if kind != FailTransient || attempt >= rp.MaxAttempts {
+			return nil, err
+		}
+		delay := a.backoffDelay(rp, attempt)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+}
+
+// RefitHealth reports the refit machinery's observable state.
+func (a *Auditor) RefitHealth() RefitHealth {
+	a.breakerMu.Lock()
+	defer a.breakerMu.Unlock()
+	h := RefitHealth{
+		ConsecutiveFailures: a.breakerFails,
+	}
+	if !a.breakerOpenUntil.IsZero() && time.Now().Before(a.breakerOpenUntil) {
+		h.BreakerOpen = true
+		h.OpenUntil = a.breakerOpenUntil
+	}
+	if a.lastRefitErr != nil {
+		h.LastFailure = a.lastRefitErr.Error()
+		h.LastFailureKind = ClassifyFailure(a.lastRefitErr)
+	}
+	return h
+}
+
+// breakerAllow fails fast with ErrBreakerOpen while the breaker is open.
+// Once the cooldown has elapsed the call is admitted as the half-open
+// probe (the open-until mark is cleared; a failure re-opens it).
+func (a *Auditor) breakerAllow(bp BreakerPolicy) error {
+	if bp.Threshold < 0 {
+		return nil
+	}
+	a.breakerMu.Lock()
+	defer a.breakerMu.Unlock()
+	if a.breakerOpenUntil.IsZero() {
+		return nil
+	}
+	if time.Now().Before(a.breakerOpenUntil) {
+		return fmt.Errorf("%w until %s", ErrBreakerOpen, a.breakerOpenUntil.Format(time.RFC3339))
+	}
+	a.breakerOpenUntil = time.Time{} // half-open probe
+	return nil
+}
+
+// breakerRecord counts one refit outcome against the breaker and reports
+// whether this failure opened (or re-opened) it.
+func (a *Auditor) breakerRecord(err error, bp BreakerPolicy) bool {
+	a.breakerMu.Lock()
+	defer a.breakerMu.Unlock()
+	if err == nil {
+		a.breakerFails = 0
+		a.lastRefitErr = nil
+		a.breakerOpenUntil = time.Time{}
+		return false
+	}
+	a.breakerFails++
+	a.lastRefitErr = err
+	if bp.Threshold >= 0 && a.breakerFails >= bp.Threshold {
+		a.breakerOpenUntil = time.Now().Add(bp.Cooldown)
+		return true
+	}
+	return false
+}
+
+// backoffDelay is the exponential-with-jitter retry schedule: BaseDelay
+// doubled per attempt, scaled by a uniform factor in [0.5, 1.5), capped
+// at MaxDelay.
+func (a *Auditor) backoffDelay(rp RetryPolicy, attempt int) time.Duration {
+	d := rp.BaseDelay << uint(attempt-1)
+	if d > rp.MaxDelay || d <= 0 {
+		d = rp.MaxDelay
+	}
+	a.breakerMu.Lock()
+	if a.retryRNG == nil {
+		seed := rp.JitterSeed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		a.retryRNG = rand.New(rand.NewSource(seed))
+	}
+	jitter := 0.5 + a.retryRNG.Float64()
+	a.breakerMu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	if d > rp.MaxDelay {
+		d = rp.MaxDelay
+	}
+	return d
 }
 
 // mixedFromPolicy rebuilds the solver-facing mixed strategy from a
