@@ -40,7 +40,7 @@ chaos:
 
 # PR names the benchmark artifact (BENCH_$(PR).json); override it when
 # cutting a new baseline, e.g. `make bench PR=PR6`.
-PR ?= PR7
+PR ?= PR8
 
 # bench runs the detection-probability, paper-table, scaled-workload,
 # warm-refit, policy-server, and drift-tracker benchmarks and emits
@@ -57,6 +57,7 @@ bench:
 	$(GO) test -run=NONE -bench='BenchmarkTable' -benchmem -benchtime=1x . >> bench.out
 	$(GO) test -run=NONE -bench='BenchmarkScaledCGGS' -benchmem -benchtime=1x . >> bench.out
 	$(GO) test -run=NONE -bench='BenchmarkWarmRefit' -benchmem -benchtime=10x . >> bench.out
+	$(GO) test -run=NONE -bench='BenchmarkGreedyOracle' -benchmem -benchtime=3x ./internal/solver >> bench.out
 	@cat bench.out
 	$(GO) run ./cmd/benchjson < bench.out > BENCH_$(PR).json.tmp
 	mv BENCH_$(PR).json.tmp BENCH_$(PR).json

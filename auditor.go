@@ -112,6 +112,12 @@ type SolveResult struct {
 	// basis, and how much re-pricing the drift screen saved. Nil for
 	// other methods.
 	Warm *WarmStats
+	// Stats is the cumulative work accounting of the session's
+	// column-generation state for MethodCGGS solves — columns generated,
+	// master solves, pivots, pal evaluations, and the incremental
+	// pricing oracle's checkpoint-hit and pruning counters. Nil for
+	// other methods.
+	Stats *CGGSStats
 	// PolicyVersion is the session version this solve's policy was
 	// installed as. Read it from here rather than Auditor.PolicyVersion,
 	// which may already reflect a later reload.
@@ -378,7 +384,8 @@ func (a *Auditor) solveOn(ctx context.Context, in *Instance, thresholds Threshol
 			return nil, err
 		}
 		ws := a.solveState.WarmStats()
-		res.Mixed, res.Warm = m, &ws
+		st := a.solveState.Stats()
+		res.Mixed, res.Warm, res.Stats = m, &ws, &st
 	case MethodExact:
 		m, err := solver.Exact(ctx, in, thresholds)
 		if err != nil {

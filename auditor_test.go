@@ -232,10 +232,10 @@ func slowScaledAuditor(t *testing.T) *Auditor {
 	t.Helper()
 	a, err := NewAuditor(AuditorConfig{
 		Workload:       "scaled",
-		Scale:          WorkloadScale{Entities: 2000, AlertTypes: 48, Seed: 5},
+		Scale:          WorkloadScale{Entities: 12000, AlertTypes: 64, Seed: 5},
 		BudgetFraction: 0.1,
 		Method:         MethodCGGS,
-		Source:         SourceOptions{BankSize: 512, Seed: 6},
+		Source:         SourceOptions{BankSize: 2048, Seed: 6},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -304,9 +304,9 @@ func TestAuditorReloadDuringSolveDoesNotBlock(t *testing.T) {
 	}()
 	time.Sleep(300 * time.Millisecond) // the solve is mid-column now
 
-	// A hand-built policy matching the scaled game's 48 types.
+	// A hand-built policy matching the scaled game's 64 types.
 	p := &Policy{Budget: 10}
-	ordering := make([]int, 48)
+	ordering := make([]int, 64)
 	for i := range ordering {
 		p.TypeNames = append(p.TypeNames, "t")
 		p.Costs = append(p.Costs, 1)

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"auditgame/internal/sample"
@@ -99,6 +100,18 @@ type Instance struct {
 	ws     []float64
 	zrecip []float64
 	nT     int
+	// zeffT/zrecipT are column-major companions of zs/zrecip —
+	// max(z, 1) and 1/max(z, 1) laid out [t][row] — so the trie walk
+	// (trie.go), which iterates rows with the type fixed, streams
+	// contiguous memory.
+	zeffT   []float64
+	zrecipT []float64
+	// spCols caches per-(type, threshold) budget-consumption columns
+	// min(z_t·C_t, b_t) for the trie walk; see spentColumn (trie.go).
+	spCols spColCache
+	// scratch pools trie-walk worker state across pal evaluations;
+	// see getTrieScratch (trie.go).
+	scratch sync.Pool
 
 	// Detection-probability engine state (engine.go): interned ordering
 	// and threshold IDs plus a sharded result cache, so concurrent
@@ -142,6 +155,19 @@ func NewInstance(g *Game, budget float64, src sample.Source) (*Instance, error) 
 				v = 1 // the Z′ = max(Z, 1) convention of Eq. 1
 			}
 			in.zrecip = append(in.zrecip, 1/v)
+		}
+	}
+	nRows := len(rows)
+	in.zeffT = make([]float64, in.nT*nRows)
+	in.zrecipT = make([]float64, in.nT*nRows)
+	for zi := 0; zi < nRows; zi++ {
+		for t := 0; t < in.nT; t++ {
+			v := in.zs[zi*in.nT+t]
+			if v < 1 {
+				v = 1
+			}
+			in.zeffT[t*nRows+zi] = v
+			in.zrecipT[t*nRows+zi] = in.zrecip[zi*in.nT+t]
 		}
 	}
 	in.entityClass = make([]int, len(g.Entities))

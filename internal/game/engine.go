@@ -75,6 +75,27 @@ func (oi *orderingInterner) intern(o Ordering) int32 {
 	return id
 }
 
+// lookup resolves an ordering's interned ID without inserting on a
+// miss — the read-through half of the cache-bypass path, which must not
+// grow the intern tables for throwaway partial orderings.
+func (oi *orderingInterner) lookup(o Ordering) (int32, bool) {
+	h := hashOrdering(o)
+	oi.mu.RLock()
+	defer oi.mu.RUnlock()
+	for _, id := range oi.byHash[h] {
+		if equalOrdering(oi.vecs[id], o) {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+func (oi *orderingInterner) size() int {
+	oi.mu.RLock()
+	defer oi.mu.RUnlock()
+	return len(oi.vecs)
+}
+
 func equalOrdering(a, b Ordering) bool {
 	if len(a) != len(b) {
 		return false
@@ -130,6 +151,25 @@ func (ti *thresholdInterner) intern(b Thresholds) int32 {
 	ti.vecs = append(ti.vecs, b.Clone())
 	ti.byHash[h] = append(ti.byHash[h], id)
 	return id
+}
+
+// lookup resolves a threshold vector's interned ID without inserting.
+func (ti *thresholdInterner) lookup(b Thresholds) (int32, bool) {
+	h := hashThresholds(b)
+	ti.mu.RLock()
+	defer ti.mu.RUnlock()
+	for _, id := range ti.byHash[h] {
+		if equalThresholds(ti.vecs[id], b) {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+func (ti *thresholdInterner) size() int {
+	ti.mu.RLock()
+	defer ti.mu.RUnlock()
+	return len(ti.vecs)
 }
 
 func equalThresholds(a, b Thresholds) bool {
@@ -254,6 +294,59 @@ func (in *Instance) PalBatch(os []Ordering, b Thresholds) [][]float64 {
 	return out
 }
 
+// PalBatchNoCache evaluates the orderings like PalBatch but never grows
+// the cache or the intern tables: already-cached entries are still
+// served (read-through), misses are computed and returned without being
+// stored. The pricing oracle's partial orderings are evaluated once and
+// never looked up again — caching ~|T|²/2 of them per generated column
+// only bloats the tables. Returned miss rows are freshly allocated and
+// owned by the caller; hit rows are shared cache entries and must not be
+// mutated.
+func (in *Instance) PalBatchNoCache(os []Ordering, b Thresholds) [][]float64 {
+	out := make([][]float64, len(os))
+	var missIdx []int
+	var missOrd []Ordering
+	if bid, ok := in.thresholds.lookup(b); ok {
+		for k, o := range os {
+			if oid, ok := in.orderings.lookup(o); ok {
+				if pal, hit := in.cacheGet(palKey(oid, bid)); hit {
+					out[k] = pal
+					continue
+				}
+			}
+			missIdx = append(missIdx, k)
+			missOrd = append(missOrd, o)
+		}
+	} else {
+		missIdx = make([]int, len(os))
+		missOrd = os
+		for k := range os {
+			missIdx[k] = k
+		}
+	}
+	if len(missOrd) > 0 {
+		pals := in.palCompute(missOrd, b)
+		for j, k := range missIdx {
+			out[k] = pals[j]
+		}
+		in.palEvals.Add(int64(len(missOrd)))
+	}
+	return out
+}
+
+// CacheStats reports the sizes of the pal result cache and the two
+// intern tables — the quantities the cache-bounding tests assert stay
+// flat while the oracle churns through throwaway partial orderings.
+func (in *Instance) CacheStats() (pals, orderings, thresholds int) {
+	for s := range in.palShards {
+		sh := &in.palShards[s]
+		sh.mu.RLock()
+		pals += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return pals, in.orderings.size(), in.thresholds.size()
+}
+
 // palChunkRows is the fixed realization-chunk size. Boundaries depend
 // only on the matrix, never on the worker count, which is what makes the
 // merged result independent of parallelism.
@@ -263,9 +356,11 @@ const palChunkRows = 1024
 // dispatch loop stays serial; tiny evaluations aren't worth goroutines.
 const palParallelMinWork = 8192
 
-// palCompute evaluates the orderings against the realization matrix and
-// returns one freshly allocated pal vector per ordering.
-func (in *Instance) palCompute(os []Ordering, b Thresholds) [][]float64 {
+// palComputeReference evaluates each ordering independently against the
+// realization matrix — the pre-trie kernel, kept as the reference
+// implementation the equivalence goldens pin palCompute (trie.go)
+// against, bit for bit.
+func (in *Instance) palComputeReference(os []Ordering, b Thresholds) [][]float64 {
 	nT := len(in.G.Types)
 	nRows := len(in.ws)
 	nChunks := (nRows + palChunkRows - 1) / palChunkRows

@@ -2,6 +2,7 @@ package game
 
 import (
 	"fmt"
+	"math"
 
 	"auditgame/internal/lp"
 )
@@ -39,7 +40,17 @@ type LPResult struct {
 //	     u_e ≥ 0                              (when AllowNoAttack)
 //	     Σ_o p_o = 1,  p_o ≥ 0,  u_e free
 func (in *Instance) SolveFixed(Q []Ordering, b Thresholds) (*LPResult, error) {
-	return in.SolveFixedWarm(Q, b, nil)
+	return in.solveFixed(Q, b, nil, true)
+}
+
+// SolveFixedEphemeral is SolveFixed minus the pal cache: detection
+// probabilities are computed through the read-through no-cache path, so
+// nothing is interned or stored. One-shot sweeps — brute force visits
+// each threshold vector exactly once — otherwise fill the cache with
+// entries that will never be read again and pay map and GC cost for the
+// privilege.
+func (in *Instance) SolveFixedEphemeral(Q []Ordering, b Thresholds) (*LPResult, error) {
+	return in.solveFixed(Q, b, nil, false)
 }
 
 // SolveFixedWarm is SolveFixed with an advisory warm-start basis from a
@@ -49,6 +60,10 @@ func (in *Instance) SolveFixed(Q []Ordering, b Thresholds) (*LPResult, error) {
 // incompatible basis degrades to the cold solve; it never changes the
 // result, only the pivot count.
 func (in *Instance) SolveFixedWarm(Q []Ordering, b Thresholds, warm *MasterBasis) (*LPResult, error) {
+	return in.solveFixed(Q, b, warm, true)
+}
+
+func (in *Instance) solveFixed(Q []Ordering, b Thresholds, warm *MasterBasis, cache bool) (*LPResult, error) {
 	if len(Q) == 0 {
 		return nil, fmt.Errorf("game: SolveFixed needs at least one ordering")
 	}
@@ -63,8 +78,32 @@ func (in *Instance) SolveFixedWarm(Q []Ordering, b Thresholds, warm *MasterBasis
 
 	// Pal for all orderings in one batched pass, then Ua rows per
 	// (ordering, entity signature).
-	pals := in.PalBatch(Q, b)
+	var pals [][]float64
+	if cache {
+		pals = in.PalBatch(Q, b)
+	} else {
+		pals = in.PalBatchNoCache(Q, b)
+	}
+	return in.solveFixedFromPals(Q, pals, warm)
+}
 
+// SolveFixedPals solves the restricted LP with the detection
+// probabilities already in hand — one pal vector per ordering, as
+// returned by PalGrid.Pals. Threshold-grid sweeps batch their pal work
+// across every grid point up front and come through here, skipping
+// both pal evaluation and the per-call permutation validation of
+// SolveFixed (the orderings were validated when the grid was built).
+func (in *Instance) SolveFixedPals(Q []Ordering, pals [][]float64) (*LPResult, error) {
+	if len(Q) == 0 {
+		return nil, fmt.Errorf("game: SolveFixedPals needs at least one ordering")
+	}
+	if len(pals) != len(Q) {
+		return nil, fmt.Errorf("game: SolveFixedPals got %d pal vectors for %d orderings", len(pals), len(Q))
+	}
+	return in.solveFixedFromPals(Q, pals, nil)
+}
+
+func (in *Instance) solveFixedFromPals(Q []Ordering, pals [][]float64, warm *MasterBasis) (*LPResult, error) {
 	// Normalize the objective weights to sum 1 for the solve. The class
 	// weights grow with the entity count (Σ p_e over thousands of
 	// entities), and an objective orders of magnitude above the O(1)
@@ -171,6 +210,19 @@ func (in *Instance) ReducedCostBatch(res *LPResult, os []Ordering, b Thresholds)
 	return out
 }
 
+// ReducedCostBatchNoCache is ReducedCostBatch through PalBatchNoCache:
+// identical values, but neither the pal cache nor the intern tables grow
+// on misses. The reference pricing oracle's throwaway partial orderings
+// go through here.
+func (in *Instance) ReducedCostBatchNoCache(res *LPResult, os []Ordering, b Thresholds) []float64 {
+	pals := in.PalBatchNoCache(os, b)
+	out := make([]float64, len(os))
+	for i, pal := range pals {
+		out[i] = in.reducedCostFromPal(res, pal)
+	}
+	return out
+}
+
 func (in *Instance) reducedCostFromPal(res *LPResult, pal []float64) float64 {
 	var priced float64
 	for ci := range in.classes {
@@ -182,4 +234,159 @@ func (in *Instance) reducedCostFromPal(res *LPResult, pal []float64) float64 {
 		}
 	}
 	return -(priced + res.SimplexDual)
+}
+
+// DualTypeWeights folds the duals down to one weight per alert type:
+// W[t] = Σ_{c,s} RowDuals[c][s]·delta_{c,s}·probs_{c,s}[t]. Since ua is
+// affine in pal, appending type t to a prefix moves the priced sum by
+// exactly W[t]·Δpal_t — the algebra the pruning bounds run on.
+func (in *Instance) DualTypeWeights(res *LPResult) []float64 {
+	W := make([]float64, in.nT)
+	for ci := range in.classes {
+		for s, sig := range in.classes[ci].sigs {
+			d := res.RowDuals[ci][s]
+			if d == 0 {
+				continue
+			}
+			dd := d * sig.delta
+			for t, p := range sig.probs {
+				if p != 0 {
+					W[t] += dd * p
+				}
+			}
+		}
+	}
+	return W
+}
+
+// pruneMarginCoeff scales the safety margins of the reduced-cost bounds
+// below. The bounds compare the composed form rcPrefix − W[t]·Δ against
+// reduced costs evaluated exactly through reducedCostFromPal; the two
+// agree algebraically but not bitwise, so every bound is slackened by
+// ~1e-12 of its operand scale — roughly a thousand times the worst
+// reassociation error at these magnitudes, and still far below any
+// meaningful Eps. The margins make pruning advisory-safe: a pruned
+// candidate's exact reduced cost is strictly above the surviving
+// minimum, so pruning can never change which column the oracle emits.
+const pruneMarginCoeff = 1e-12
+
+// ExtendOutcome reports one incremental greedy-oracle step.
+type ExtendOutcome struct {
+	// BestType/BestRC/BestDelta describe the chosen extension: the
+	// candidate minimizing the exact reduced cost (ties to the lowest
+	// type index, matching the batched oracle's argmin).
+	BestType  int
+	BestRC    float64
+	BestDelta float64
+	// Evaluated counts candidates priced incrementally from the prefix
+	// checkpoint; Pruned counts candidates discarded on bounds alone,
+	// without touching the realization matrix.
+	Evaluated int
+	Pruned    int
+}
+
+// ExtendReducedCosts prices the one-type extensions prefix+t of the
+// pricer's checkpointed prefix and selects the minimum-reduced-cost
+// candidate. ub[t] must be a monotone upper bound on Δpal_t (math.Inf(1)
+// when unknown; the budget fold only ever shrinks a candidate's delta as
+// the prefix grows, so any previously evaluated delta qualifies); it is
+// tightened in place with each candidate actually evaluated.
+//
+// Pruning runs in two rounds: the candidate with the lowest reduced-cost
+// lower bound is evaluated exactly to seed an incumbent, then every
+// remaining candidate whose lower bound already exceeds the incumbent is
+// discarded without touching the realization matrix. Survivors get their
+// exact reduced cost through the same reducedCostFromPal path the
+// batched oracle uses, on a composed pal vector that is bitwise-
+// identical to the full walk's — and the margins guarantee a pruned
+// candidate's exact reduced cost is strictly above the final minimum, so
+// the selected column, and every tie-break, matches the non-incremental
+// oracle bit for bit.
+func (in *Instance) ExtendReducedCosts(res *LPResult, pp *PrefixPricer, cands []int, W, ub []float64) ExtendOutcome {
+	if len(cands) == 0 {
+		panic("game: ExtendReducedCosts needs at least one candidate")
+	}
+	rcPrefix := in.reducedCostFromPal(res, pp.pal)
+
+	// Margin-lowered lower bounds: rc(prefix+t) = rcPrefix − W[t]·Δ_t in
+	// exact arithmetic with Δ_t ∈ [0, ub[t]], so rc is at least
+	// rcPrefix − max(0, W[t])·ub[t] minus the reassociation slack.
+	lo := make([]float64, len(cands))
+	seedJ := 0
+	for j, t := range cands {
+		wt := W[t]
+		loT := rcPrefix
+		var spread float64
+		if wt > 0 {
+			spread = wt * ub[t]
+			loT = rcPrefix - spread
+		}
+		lo[j] = loT - pruneMarginCoeff*(1+math.Abs(rcPrefix)+spread)
+		if lo[j] < lo[seedJ] {
+			seedJ = j
+		}
+	}
+
+	out := ExtendOutcome{BestType: -1, BestRC: math.Inf(1)}
+	// better applies the batched oracle's argmin semantics — minimum
+	// reduced cost, exact ties to the lowest type index — independent of
+	// evaluation order (the seed may have a higher index than a tie).
+	better := func(rc float64, t int) bool {
+		return rc < out.BestRC || (rc == out.BestRC && t < out.BestType)
+	}
+	eval := func(ts []int) {
+		deltas := pp.ExtendDeltas(ts)
+		out.Evaluated += len(ts)
+		for j, t := range ts {
+			ub[t] = deltas[j]
+			pp.pal[t] = deltas[j]
+			rc := in.reducedCostFromPal(res, pp.pal)
+			pp.pal[t] = 0
+			if better(rc, t) {
+				out.BestRC, out.BestType, out.BestDelta = rc, t, deltas[j]
+			}
+		}
+	}
+
+	eval(cands[seedJ : seedJ+1])
+	rest := make([]int, 0, len(cands)-1)
+	for j, t := range cands {
+		if j == seedJ {
+			continue
+		}
+		if lo[j] > out.BestRC {
+			// rc(prefix+t) is strictly above the incumbent (the margin
+			// inside lo covers the float slack), so t can be neither the
+			// minimum nor an exact tie.
+			out.Pruned++
+			continue
+		}
+		rest = append(rest, t)
+	}
+	if len(rest) > 0 {
+		eval(rest)
+	}
+	return out
+}
+
+// CompletionLowerBound returns a sound lower bound on the reduced cost
+// of ANY full completion of the pricer's prefix: each unused type t
+// appears at exactly one future position, where its pal delta is at most
+// ub[t] (budget consumption only grows along the walk), so the priced
+// sum can improve by at most Σ max(0, W[t])·ub[t]. Once this bound
+// clears −eps the oracle can stop: no completion — the greedy one
+// included — prices negatively enough to enter the master.
+func (in *Instance) CompletionLowerBound(res *LPResult, pp *PrefixPricer, W, ub []float64) float64 {
+	rcPrefix := in.reducedCostFromPal(res, pp.pal)
+	var sum float64
+	for t := 0; t < in.nT; t++ {
+		if pp.inPrefix[t] {
+			continue
+		}
+		if wt := W[t]; wt > 0 {
+			sum += wt * ub[t]
+		}
+	}
+	m := pruneMarginCoeff * (1 + math.Abs(rcPrefix) + sum) * float64(in.nT+1)
+	return rcPrefix - sum - m
 }

@@ -83,6 +83,11 @@ type JobResponse struct {
 	// drift screen parked, and the pricing-round count. Absent for other
 	// methods and for jobs that failed before solving.
 	Warm *auditgame.WarmStats `json:"warm_stats,omitempty"`
+	// Stats is the solve's column-generation work accounting (MethodCGGS
+	// sessions): columns, master solves, pivots, pal evaluations, and
+	// the incremental pricing oracle's checkpoint-hit and pruning
+	// counters. Absent for other methods and failed jobs.
+	Stats *auditgame.CGGSStats `json:"solve_stats,omitempty"`
 }
 
 // ObserveRequest is the body of POST /v1/observe: one audit period's

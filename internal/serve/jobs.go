@@ -36,6 +36,7 @@ type job struct {
 	detail        string
 	outcome       string
 	warm          *auditgame.WarmStats
+	stats         *auditgame.CGGSStats
 	created       time.Time
 	started       time.Time
 	finished      time.Time
@@ -52,6 +53,7 @@ type jobResult struct {
 	detail        string
 	outcome       string
 	warm          *auditgame.WarmStats
+	stats         *auditgame.CGGSStats
 }
 
 func (j *job) snapshot() JobResponse {
@@ -77,6 +79,7 @@ func (j *job) snapshot() JobResponse {
 		Detail:         j.detail,
 		Outcome:        j.outcome,
 		Warm:           j.warm,
+		Stats:          j.stats,
 	}
 }
 
@@ -122,6 +125,7 @@ func (j *job) finish(r jobResult) {
 	j.detail = r.detail
 	j.outcome = r.outcome
 	j.warm = r.warm
+	j.stats = r.stats
 	j.finished = time.Now()
 	if j.reaped && j.status == jobCancelled {
 		j.detail = "reaped by watchdog: exceeded the stuck-job timeout"

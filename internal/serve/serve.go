@@ -433,7 +433,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		kind := auditgame.ClassifyFailure(err)
 		switch kind {
 		case "":
-			j.finish(jobResult{status: jobDone, policyVersion: res.PolicyVersion, expectedLoss: res.Policy.ExpectedLoss, warm: res.Warm})
+			j.finish(jobResult{status: jobDone, policyVersion: res.PolicyVersion, expectedLoss: res.Policy.ExpectedLoss, warm: res.Warm, stats: res.Stats})
 			s.logf("serve: solve %s done (loss %.4f, policy version %d)", j.id, res.Policy.ExpectedLoss, res.PolicyVersion)
 		case auditgame.FailCancelled, auditgame.FailTimeout:
 			j.finish(jobResult{status: jobCancelled, err: err.Error(), failureKind: string(kind)})
@@ -527,11 +527,11 @@ func (s *Server) startRefit() string {
 		kind := auditgame.ClassifyFailure(rerr)
 		switch {
 		case rerr == nil && out.Installed:
-			j.finish(jobResult{status: jobDone, policyVersion: out.PolicyVersion, expectedLoss: out.NewLoss, detail: out.Reason, outcome: out.Outcome, warm: out.Warm})
+			j.finish(jobResult{status: jobDone, policyVersion: out.PolicyVersion, expectedLoss: out.NewLoss, detail: out.Reason, outcome: out.Outcome, warm: out.Warm, stats: out.Stats})
 			s.logf("serve: refit %s installed policy version %d (loss %.4f, warm=%v)", j.id, out.PolicyVersion, out.NewLoss, out.Warm != nil && out.Warm.Warm)
 			s.persistCurrentPolicy()
 		case rerr == nil:
-			j.finish(jobResult{status: jobDone, expectedLoss: out.NewLoss, detail: out.Reason, outcome: out.Outcome, warm: out.Warm})
+			j.finish(jobResult{status: jobDone, expectedLoss: out.NewLoss, detail: out.Reason, outcome: out.Outcome, warm: out.Warm, stats: out.Stats})
 			s.logf("serve: refit %s kept the current policy (%s): %s", j.id, out.Outcome, out.Reason)
 		case errors.Is(rerr, auditgame.ErrBreakerOpen):
 			j.finish(jobResult{status: jobError, err: rerr.Error(), failureKind: string(kind), detail: "refit circuit breaker open; serving the incumbent policy"})

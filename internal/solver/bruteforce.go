@@ -25,7 +25,17 @@ type BruteForceResult struct {
 // ordering LP to optimality at each, and returns the best. Exponential in
 // |T|; it exists as ground truth for the controlled evaluation. The
 // context is checked at every explored grid point.
-func BruteForce(ctx context.Context, in *game.Instance) (result *BruteForceResult, err error) {
+func BruteForce(ctx context.Context, in *game.Instance) (*BruteForceResult, error) {
+	return bruteForce(ctx, in, true)
+}
+
+// bruteForce is BruteForce with the grid-swept pal table switchable:
+// the sweep shares trie-prefix row work across grid points (see
+// game.PalGridSweep) and is bitwise-equivalent to solving each point
+// from scratch — the per-point path remains as the fallback for grids
+// past the sweep's memory cap and as the golden reference its
+// equivalence test pins the sweep against.
+func bruteForce(ctx context.Context, in *game.Instance, sweep bool) (result *BruteForceResult, err error) {
 	defer contain("brute", &err)
 	nT := in.G.NumTypes()
 	if nT > 6 {
@@ -49,6 +59,12 @@ func BruteForce(ctx context.Context, in *game.Instance) (result *BruteForceResul
 	}
 
 	b := make(game.Thresholds, nT)
+	ks := make([]int, nT)
+	all := game.AllOrderings(nT)
+	var pg *game.PalGrid
+	if sweep {
+		pg = in.PalGridSweep(all, steps) // nil: grid too large, solve per point
+	}
 	var best *MixedPolicy
 	var rec func(t int, sum float64) error
 	rec = func(t int, sum float64) error {
@@ -57,9 +73,22 @@ func BruteForce(ctx context.Context, in *game.Instance) (result *BruteForceResul
 				return nil
 			}
 			res.Explored++
-			pol, err := Exact(ctx, in, b)
-			if err != nil {
-				return err
+			var pol *MixedPolicy
+			if pg != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				lpres, err := in.SolveFixedPals(all, pg.Pals(ks))
+				if err != nil {
+					return err
+				}
+				pol = &MixedPolicy{Q: all, Po: lpres.Po, Thresholds: b.Clone(), Objective: lpres.Objective}
+			} else {
+				var err error
+				pol, err = exact(ctx, in, all, b, true)
+				if err != nil {
+					return err
+				}
 			}
 			if best == nil || pol.Objective < best.Objective-1e-12 ||
 				(pol.Objective < best.Objective+1e-12 && lexLess(b, best.Thresholds)) {
@@ -70,6 +99,7 @@ func BruteForce(ctx context.Context, in *game.Instance) (result *BruteForceResul
 		ct := in.G.Types[t].Cost
 		for k := 0; k <= steps[t]; k++ {
 			b[t] = float64(k) * ct
+			ks[t] = k
 			if err := rec(t+1, sum+b[t]); err != nil {
 				return err
 			}

@@ -65,6 +65,11 @@ type CGGSOptions struct {
 	// The paper's Algorithm 1 is greedy-only (the default); this switch
 	// exists for the column-oracle ablation.
 	ExhaustiveOracle bool
+	// ReferenceOracle prices greedy columns with the non-incremental
+	// batched oracle instead of the prefix-checkpoint pricer. Both emit
+	// bitwise-identical columns; this switch exists as the fallback and
+	// for the oracle-equivalence ablation.
+	ReferenceOracle bool
 }
 
 func (o CGGSOptions) withDefaults(numTypes int) CGGSOptions {
@@ -83,17 +88,25 @@ func (o CGGSOptions) withDefaults(numTypes int) CGGSOptions {
 type CGGSStats struct {
 	// Columns is the size of the final ordering pool (including the
 	// warm-start column).
-	Columns int
+	Columns int `json:"columns"`
 	// MasterSolves counts restricted master LP solves.
-	MasterSolves int
+	MasterSolves int `json:"master_solves"`
 	// Pivots is the cumulative simplex pivot count across all master
 	// solves.
-	Pivots int
+	Pivots int `json:"pivots"`
 	// PalEvals is the increase in the instance's uncached
 	// detection-probability evaluations over the solve. On an instance
 	// shared with concurrent solvers this attributes their evaluations
 	// too; benchmarks use a fresh instance per solve.
-	PalEvals int
+	PalEvals int `json:"pal_evals"`
+	// PrefixHits counts candidate extensions the incremental oracle
+	// priced from a prefix checkpoint (one O(rows) appended-position
+	// evaluation each, instead of a full prefix re-walk).
+	PrefixHits int `json:"prefix_hits"`
+	// PrunedCandidates counts candidate extensions discarded on
+	// reduced-cost bounds alone, without touching the realization
+	// matrix.
+	PrunedCandidates int `json:"pruned_candidates"`
 }
 
 // CGGS solves the fixed-threshold LP by column generation (Algorithm 1).
@@ -124,13 +137,27 @@ func CGGSWithStats(ctx context.Context, in *game.Instance, b game.Thresholds, op
 // that. This is the "solving the linear program to optimality" inner
 // solver used for Tables III, IV and VI (γ¹). The context is checked on
 // entry; the single SolveFixed over all orderings is not interruptible.
-func Exact(ctx context.Context, in *game.Instance, b game.Thresholds) (pol *MixedPolicy, err error) {
+func Exact(ctx context.Context, in *game.Instance, b game.Thresholds) (*MixedPolicy, error) {
+	return exact(ctx, in, game.AllOrderings(in.G.NumTypes()), b, false)
+}
+
+// exact is Exact with the ordering enumeration hoisted (BruteForce
+// enumerates once for thousands of grid points) and a cache policy
+// switch. Iterative callers (ISHM) revisit threshold vectors across
+// shrink rounds and want the pal cache; grid sweeps visit each vector
+// exactly once, for which caching is pure map and GC pressure — they
+// pass ephemeral=true.
+func exact(ctx context.Context, in *game.Instance, all []game.Ordering, b game.Thresholds, ephemeral bool) (pol *MixedPolicy, err error) {
 	defer contain("exact", &err)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	all := game.AllOrderings(in.G.NumTypes())
-	res, err := in.SolveFixed(all, b)
+	var res *game.LPResult
+	if ephemeral {
+		res, err = in.SolveFixedEphemeral(all, b)
+	} else {
+		res, err = in.SolveFixed(all, b)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -182,6 +182,7 @@ func (st *SolveState) run(ctx context.Context, in *game.Instance, b game.Thresho
 	nT := in.G.NumTypes()
 	opts := st.opts.withDefaults(nT)
 	stats := CGGSStats{}
+	var oStats oracleStats
 	palEvals0 := in.PalEvals()
 	Q := active
 
@@ -208,11 +209,16 @@ func (st *SolveState) run(ctx context.Context, in *game.Instance, b game.Thresho
 		// Greedy column construction (the paper's pricing oracle):
 		// extend a partial ordering one type at a time, each step
 		// choosing the type that minimizes the reduced cost of the
-		// partial column. All extensions of a step are priced as one
-		// batch — one pass over the realization matrix instead of one
-		// per candidate type.
-		partial := greedyOrdering(in, res, b)
-		if rc := in.ReducedCost(res, partial, b); rc < -opts.Eps && !inQ[partial.Key()] {
+		// partial column. The incremental oracle prices each candidate
+		// extension from a per-realization budget checkpoint of the
+		// prefix (oracle.go); a nil column means the completion bound
+		// already certifies that nothing prices below −Eps, which lands
+		// in the same termination arm as a non-improving column.
+		partial, rc, err := greedyOrdering(in, res, b, opts, &oStats)
+		if err != nil {
+			return nil, err
+		}
+		if partial != nil && rc < -opts.Eps && !inQ[partial.Key()] {
 			Q = append(Q, partial)
 			inQ[partial.Key()] = true
 			continue
@@ -306,40 +312,9 @@ func (st *SolveState) run(ctx context.Context, in *game.Instance, b game.Thresho
 
 	stats.Columns = len(Q)
 	stats.PalEvals = in.PalEvals() - palEvals0
+	stats.PrefixHits = oStats.prefixHits
+	stats.PrunedCandidates = oStats.pruned
 	st.stats = stats
 	st.warm.PricingRounds = stats.MasterSolves
 	return pol, nil
-}
-
-// greedyOrdering builds Algorithm 1's greedy pricing-oracle column:
-// starting from the empty partial ordering, repeatedly append the alert
-// type that minimizes the partial column's reduced cost, pricing all
-// one-type extensions of a step as one batch.
-func greedyOrdering(in *game.Instance, res *game.LPResult, b game.Thresholds) game.Ordering {
-	nT := in.G.NumTypes()
-	partial := make(game.Ordering, 0, nT)
-	used := make([]bool, nT)
-	cands := make([]game.Ordering, 0, nT)
-	candType := make([]int, 0, nT)
-	for len(partial) < nT {
-		cands, candType = cands[:0], candType[:0]
-		for t := 0; t < nT; t++ {
-			if used[t] {
-				continue
-			}
-			c := append(partial[:len(partial):len(partial)], t)
-			cands = append(cands, c)
-			candType = append(candType, t)
-		}
-		rcs := in.ReducedCostBatch(res, cands, b)
-		bestT, bestRC := -1, math.Inf(1)
-		for j, rc := range rcs {
-			if rc < bestRC {
-				bestRC, bestT = rc, candType[j]
-			}
-		}
-		partial = append(partial, bestT)
-		used[bestT] = true
-	}
-	return partial
 }

@@ -223,6 +223,11 @@ type RefitOutcome struct {
 	// persisted column pool and basis were reused, and how much
 	// re-pricing the drift screen saved.
 	Warm *WarmStats `json:"warm_stats,omitempty"`
+	// Stats is the refit solve's column-generation work accounting
+	// (MethodCGGS sessions; nil otherwise): columns, master solves,
+	// pivots, pal evaluations, and the incremental pricing oracle's
+	// checkpoint-hit and pruning counters.
+	Stats *CGGSStats `json:"solve_stats,omitempty"`
 }
 
 // trackerBinding pairs the attached tracker with its options in one
@@ -394,7 +399,7 @@ func (a *Auditor) Refit(ctx context.Context) (*RefitOutcome, error) {
 	// restricted-master bound that can understate the candidate's true
 	// loss, so comparing it against the incumbent's Loss would bias the
 	// gate toward installing.
-	out := &RefitOutcome{NewLoss: Loss(nin, res.Mixed), Warm: res.Warm}
+	out := &RefitOutcome{NewLoss: Loss(nin, res.Mixed), Warm: res.Warm, Stats: res.Stats}
 	install := true
 	if cur, _ := a.CurrentPolicy(); cur != nil {
 		out.OldLoss = Loss(nin, mixedFromPolicy(cur))

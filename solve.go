@@ -18,6 +18,13 @@ type MixedPolicy = solver.MixedPolicy
 // MethodCGGS sessions.
 type WarmStats = solver.WarmStats
 
+// CGGSStats is the work accounting of one column-generation solve:
+// column-pool size, master-solve and pivot counts, uncached pal
+// evaluations, and the incremental pricing oracle's checkpoint-hit and
+// pruning counters. Attached to SolveResult and RefitOutcome for
+// MethodCGGS sessions.
+type CGGSStats = solver.CGGSStats
+
 // CGGSConfig tunes column generation (Algorithm 1 of the paper).
 type CGGSConfig struct {
 	// Initial seeds the column pool; nil means the benefit-greedy
