@@ -40,16 +40,19 @@ chaos:
 
 # PR names the benchmark artifact (BENCH_$(PR).json); override it when
 # cutting a new baseline, e.g. `make bench PR=PR6`.
-PR ?= PR8
+PR ?= PR9
 
 # bench runs the detection-probability, paper-table, scaled-workload,
-# warm-refit, policy-server, and drift-tracker benchmarks and emits
-# BENCH_$(PR).json (ns/op, B/op, allocs/op plus custom metrics) via
-# cmd/benchjson. Pal, serve, and tracker benchmarks get enough
-# iterations for stable ns/op and req/s; the table and scaled
-# benchmarks are single-shot because each regenerates a full
+# warm-refit, policy-server, drift-tracker, and closed-loop simulation
+# benchmarks and emits BENCH_$(PR).json (ns/op, B/op, allocs/op plus
+# custom metrics) via cmd/benchjson. Pal, serve, and tracker benchmarks
+# get enough iterations for stable ns/op and req/s; the table and
+# scaled benchmarks are single-shot because each regenerates a full
 # experiment; the warm-refit pairs get 10 iterations so the cold/warm
-# ns/op ratio is stable.
+# ns/op ratio is stable. The sim pair records kernel events/s at 1 and
+# default GOMAXPROCS and the step-change strategy comparison
+# (cum_regret/refits/detection per strategy) — the drift-beats-static
+# margin, pinned per PR.
 bench:
 	$(GO) test -run=NONE -bench='BenchmarkPal' -benchmem -benchtime=200x . > bench.out
 	$(GO) test -run=NONE -bench='BenchmarkServeSelect' -benchmem -benchtime=2000x . >> bench.out
@@ -58,6 +61,7 @@ bench:
 	$(GO) test -run=NONE -bench='BenchmarkScaledCGGS' -benchmem -benchtime=1x . >> bench.out
 	$(GO) test -run=NONE -bench='BenchmarkWarmRefit' -benchmem -benchtime=10x . >> bench.out
 	$(GO) test -run=NONE -bench='BenchmarkGreedyOracle' -benchmem -benchtime=3x ./internal/solver >> bench.out
+	$(GO) test -run=NONE -bench='BenchmarkSim|BenchmarkStepChange' -benchmem -benchtime=5x ./internal/sim >> bench.out
 	@cat bench.out
 	$(GO) run ./cmd/benchjson < bench.out > BENCH_$(PR).json.tmp
 	mv BENCH_$(PR).json.tmp BENCH_$(PR).json

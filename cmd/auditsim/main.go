@@ -67,6 +67,14 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	case "sim":
+		// Curves go to stdout; keep them parseable by skipping the
+		// elapsed-time footer (the summary goes to stderr).
+		if err := runSim(args); err != nil {
+			fmt.Fprintln(os.Stderr, "auditsim:", err)
+			os.Exit(1)
+		}
+		return
 	case "sens":
 		err = runSensitivity(args)
 	case "quantal":
@@ -111,6 +119,9 @@ commands:
   scaled   build a scaled workload and solve it end-to-end with CGGS
   serve    run the HTTP policy server (daily counts in, audit selections
            out) with hot policy reload; see "serve -h" for flags
+  sim      closed-loop discrete-event simulation: drifting traffic and
+           an adaptive attacker against a refitting policy host; see
+           "sim -h" for flags and "sim -list" for scenarios
   sens     robustness sweep over penalty × attack probability
   quantal  policy quality against boundedly rational adversaries
   drift    stale-vs-refit policy under workload drift

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"auditgame/internal/sim"
+)
+
+// runSim drives the closed-loop discrete-event simulator: a scenario's
+// traffic, drift injections, and adaptive attacker against a policy
+// host running one refit strategy. The curves go to stdout (or -o) as
+// JSON or CSV; the one-line summary goes to stderr so piped output
+// stays machine-readable.
+func runSim(args []string) error {
+	fs := flag.NewFlagSet("auditsim sim", flag.ContinueOnError)
+	scenario := fs.String("scenario", "stepchange", "scenario to run (see -list)")
+	list := fs.Bool("list", false, "list the registered scenarios and exit")
+	horizon := fs.Int("horizon", 0, "override the scenario horizon (virtual periods)")
+	seed := fs.Int64("seed", 1, "simulation seed; one seed = one bitwise-identical run")
+	strategy := fs.String("strategy", string(sim.StrategyDrift),
+		"refit strategy: static, cron, or drift")
+	format := fs.String("format", "json", "output format: json (full result) or csv (per-period curves)")
+	out := fs.String("o", "", "write output to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, name := range sim.Scenarios() {
+			scn, _ := sim.GetScenario(name)
+			fmt.Printf("%-12s %s\n", name, scn.Description)
+		}
+		return nil
+	}
+
+	res, err := sim.Run(context.Background(), *scenario, sim.Options{
+		Horizon:  *horizon,
+		Seed:     *seed,
+		Strategy: sim.Strategy(*strategy),
+	})
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "json":
+		err = res.WriteJSON(w)
+	case "csv":
+		err = res.WriteCSV(w)
+	default:
+		return fmt.Errorf("unknown format %q (want json or csv)", *format)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"sim %s/%s seed=%d horizon=%d: events=%d trace=%s cum_regret=%.3f refits=%d/%d detection=%.3f (model %.3f)\n",
+		res.Scenario, res.Strategy, res.Seed, res.Horizon,
+		res.Events, res.TraceHash, res.CumRegret,
+		res.RefitsInstalled, res.Refits,
+		res.EmpiricalDetection, res.PredictedDetection)
+	return nil
+}

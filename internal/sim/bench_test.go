@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// BenchmarkSimEvents measures kernel event throughput for a full
+// closed-loop run at GOMAXPROCS 1 and at the machine's default — the
+// determinism contract says the curves are identical, so the pair also
+// shows what the solver's internal parallelism buys the loop.
+func BenchmarkSimEvents(b *testing.B) {
+	counts := []int{1}
+	if max := runtime.GOMAXPROCS(0); max > 1 {
+		counts = append(counts, max)
+	}
+	for _, procs := range counts {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			events := 0
+			start := time.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(context.Background(), "stepchange", Options{Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(events)/time.Since(start).Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkStepChangeStrategies runs the acceptance scenario once per
+// strategy and reports the final cumulative regret and refit count as
+// benchmark metrics — `make bench` carries them into the BENCH
+// artifact, so the drift-beats-static margin is recorded per PR.
+func BenchmarkStepChangeStrategies(b *testing.B) {
+	for _, strat := range Strategies() {
+		b.Run(string(strat), func(b *testing.B) {
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = Run(context.Background(), "stepchange", Options{Seed: 1, Strategy: strat})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.CumRegret, "cum_regret")
+			b.ReportMetric(float64(res.RefitsInstalled), "refits")
+			b.ReportMetric(res.EmpiricalDetection, "detection")
+		})
+	}
+}

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"auditgame"
+)
+
+// Strategy selects how the policy host keeps its policy current.
+type Strategy string
+
+const (
+	// StrategyStatic solves once and never refits — the paper's
+	// deployment model and the baseline the others are measured against.
+	StrategyStatic Strategy = "static"
+	// StrategyCron refits on a fixed schedule regardless of drift
+	// evidence, installing unconditionally — the "dumb timer" a drift
+	// trigger must beat on refit count without losing on regret.
+	StrategyCron Strategy = "cron"
+	// StrategyDrift refits when the attached tracker's drift detector
+	// fires, installing through the loss-improvement gate — the PR 5
+	// machinery, measured end to end.
+	StrategyDrift Strategy = "drift"
+)
+
+// Strategies lists the selectable refit strategies.
+func Strategies() []Strategy { return []Strategy{StrategyStatic, StrategyCron, StrategyDrift} }
+
+// HostConfig configures the policy host.
+type HostConfig struct {
+	// Game is the host's offline model: the game solved at period 0.
+	Game *auditgame.Game
+	// Budget is the per-period audit budget B.
+	Budget float64
+	// Strategy picks the refit behaviour; CronEvery is the cron
+	// strategy's period (≥ 1).
+	Strategy  Strategy
+	CronEvery int
+	// Tracker tunes the attached drift tracker (window, hysteresis).
+	Tracker auditgame.TrackerConfig
+	// BankSize is the Monte-Carlo bank behind every solve's loss
+	// expectations.
+	BankSize int
+	// Seed derives the host's deterministic streams (bank, Select).
+	Seed int64
+}
+
+// install records one policy installation: the first period the policy
+// served and the artifact itself. The attacker's lagged observation
+// reads this history.
+type install struct {
+	from    int
+	pol     *auditgame.Policy
+	version uint64
+}
+
+// Host drives an Auditor through the serve-layer lifecycle inside the
+// simulation: Observe on every period's counts, Select for the audit,
+// and the strategy's refit schedule. It is the system under test — the
+// host touches the Auditor only through its public session API, so the
+// loop exercises exactly the code paths a serving process runs.
+type Host struct {
+	aud       *auditgame.Auditor
+	strategy  Strategy
+	cronEvery int
+	minFill   int
+
+	installs []install
+
+	// Refits counts completed refit solves; Installed and Gated split
+	// them by outcome. DriftFires counts tracker firings whether or not
+	// the strategy acts on them.
+	Refits, Installed, Gated, DriftFires int
+}
+
+// NewHost builds the session, attaches the tracker, and solves the
+// initial policy.
+func NewHost(ctx context.Context, cfg HostConfig) (*Host, error) {
+	if cfg.Game == nil {
+		return nil, fmt.Errorf("sim: host needs a game")
+	}
+	if cfg.Budget <= 0 {
+		return nil, fmt.Errorf("sim: host needs a positive budget, got %v", cfg.Budget)
+	}
+	switch cfg.Strategy {
+	case StrategyStatic, StrategyCron, StrategyDrift:
+	default:
+		return nil, fmt.Errorf("sim: unknown strategy %q (have %v)", cfg.Strategy, Strategies())
+	}
+	if cfg.Strategy == StrategyCron && cfg.CronEvery < 1 {
+		return nil, fmt.Errorf("sim: cron strategy needs CronEvery ≥ 1, got %d", cfg.CronEvery)
+	}
+
+	aud, err := auditgame.NewAuditor(auditgame.AuditorConfig{
+		Game:   cfg.Game,
+		Budget: cfg.Budget,
+		Method: auditgame.MethodCGGS,
+		// The bank seed matches the world's evaluation instances
+		// (subSeed(seed, "bank")): common random numbers, so the host's
+		// solves and the regret accounting see the same realizations.
+		Source: auditgame.SourceOptions{
+			BankSize: cfg.BankSize,
+			Seed:     subSeed(cfg.Seed, "bank"),
+		},
+		SelectSeed: subSeed(cfg.Seed, "host-select"),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tr, err := auditgame.NewTracker(cfg.Game.NumTypes(), cfg.Tracker)
+	if err != nil {
+		return nil, err
+	}
+	// The cron strategy installs unconditionally (a timer does not
+	// second-guess itself); the drift strategy keeps the strict
+	// improvement gate, so a spurious firing cannot regress the policy.
+	gate := 0.0
+	if cfg.Strategy == StrategyCron {
+		gate = -1
+	}
+	if err := aud.AttachTracker(tr, auditgame.RefitOptions{MinLossDelta: gate}); err != nil {
+		return nil, err
+	}
+
+	h := &Host{
+		aud:       aud,
+		strategy:  cfg.Strategy,
+		cronEvery: cfg.CronEvery,
+		minFill:   tr.Config().MinFill,
+	}
+	pol, err := aud.Solve(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("sim: initial solve: %w", err)
+	}
+	_, v := aud.CurrentPolicy()
+	h.installs = append(h.installs, install{from: 0, pol: pol, version: v})
+	return h, nil
+}
+
+// Observe feeds period p's realized counts to the tracker and reports
+// whether the host wants a refit event scheduled after this period.
+func (h *Host) Observe(p int, counts []int) (auditgame.DriftDecision, bool, error) {
+	dec, err := h.aud.Observe(counts)
+	if err != nil {
+		return dec, false, err
+	}
+	if dec.Drift {
+		h.DriftFires++
+	}
+	switch h.strategy {
+	case StrategyDrift:
+		return dec, dec.Drift, nil
+	case StrategyCron:
+		// Fire on schedule once the window can snapshot at all.
+		return dec, (p+1)%h.cronEvery == 0 && dec.Period >= h.minFill, nil
+	default:
+		return dec, false, nil
+	}
+}
+
+// Select runs the recourse step for period p's counts on the currently
+// installed policy.
+func (h *Host) Select(counts []int) (*auditgame.AuditSelection, uint64, error) {
+	return h.aud.SelectVersioned(counts)
+}
+
+// Refit re-solves on the tracker's window snapshot; an installed
+// outcome becomes effective for the attacker's observation history at
+// period from.
+func (h *Host) Refit(ctx context.Context, from int) (*auditgame.RefitOutcome, error) {
+	out, err := h.aud.Refit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	h.Refits++
+	if out.Installed {
+		h.Installed++
+		h.installs = append(h.installs, install{from: from, pol: h.aud.Policy(), version: out.PolicyVersion})
+	} else {
+		h.Gated++
+	}
+	return out, nil
+}
+
+// PolicyAt returns the policy that was serving at period p (the latest
+// install effective at or before p) with its version — what a lagged
+// observer of period p saw.
+func (h *Host) PolicyAt(p int) (*auditgame.Policy, uint64) {
+	cur := h.installs[0]
+	for _, in := range h.installs[1:] {
+		if in.from > p {
+			break
+		}
+		cur = in
+	}
+	return cur.pol, cur.version
+}
+
+// Tracker exposes the attached drift tracker (read-only use).
+func (h *Host) Tracker() *auditgame.Tracker { return h.aud.Tracker() }

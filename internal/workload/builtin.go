@@ -20,6 +20,7 @@ func init() {
 	Register(creditWorkload{})
 	Register(Scaled{})
 	Register(heavyTail{})
+	Register(seasonal{})
 }
 
 // rejectFixed errors when a Scale override targets a knob the scenario

@@ -86,6 +86,15 @@ type Scaled struct {
 	// Templates is the alert-type archetype set. Nil means
 	// DefaultTemplates().
 	Templates []TypeTemplate
+	// Resolved, when non-nil, supplies each template's count
+	// distribution directly (one entry per template, in order) and
+	// skips Spec resolution entirely. Workloads that fit their count
+	// models from a simulated log with structure the Spec language
+	// cannot express — the seasonal regime mixture, for example — build
+	// the distributions themselves and stamp the game through here,
+	// keeping the process-global dist.Shared intern free of
+	// unbounded observation-list keys.
+	Resolved []dist.Distribution
 	// Penalty and AttackCost are the adversary's capture loss M and
 	// attack cost K. Zero means 15 and 1 (the Rea A economics).
 	Penalty, AttackCost float64
@@ -162,18 +171,31 @@ func (s Scaled) Build(sc Scale) (*game.Game, game.Thresholds, error) {
 	// shared locally, keeping the global intern map free of unbounded
 	// observation-list keys.
 	tmplDists := make([]dist.Distribution, len(s.Templates))
-	for ti, tm := range s.Templates {
-		var d dist.Distribution
-		var err error
-		if s.Days > 0 {
-			d, err = fitEmpirical(tm.Spec, s.Days, s.Seed+int64(ti)*1_000_003)
-		} else {
-			d, err = dist.Shared(tm.Spec)
+	if s.Resolved != nil {
+		if len(s.Resolved) != len(s.Templates) {
+			return nil, nil, fmt.Errorf("workload: scaled has %d resolved distributions for %d templates",
+				len(s.Resolved), len(s.Templates))
 		}
-		if err != nil {
-			return nil, nil, fmt.Errorf("workload: scaled template %q: %w", tm.Name, err)
+		for ti, d := range s.Resolved {
+			if d == nil {
+				return nil, nil, fmt.Errorf("workload: scaled resolved distribution %d is nil", ti)
+			}
+			tmplDists[ti] = d
 		}
-		tmplDists[ti] = d
+	} else {
+		for ti, tm := range s.Templates {
+			var d dist.Distribution
+			var err error
+			if s.Days > 0 {
+				d, err = fitEmpirical(tm.Spec, s.Days, s.Seed+int64(ti)*1_000_003)
+			} else {
+				d, err = dist.Shared(tm.Spec)
+			}
+			if err != nil {
+				return nil, nil, fmt.Errorf("workload: scaled template %q: %w", tm.Name, err)
+			}
+			tmplDists[ti] = d
+		}
 	}
 
 	g := &game.Game{AllowNoAttack: true}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"auditgame/internal/dist"
+	"auditgame/internal/game"
+)
+
+// The seasonal workload models the weekday/weekend regime switching
+// every real audit log shows: staffing, access patterns, and alert
+// volumes differ systematically between business days and off days, so
+// a single stationary count model is wrong in both regimes. Two
+// archetype sets share names, audit costs, and benefits — only the
+// count models differ — so the strategic structure of the game is
+// regime-invariant and exactly one thing moves at a regime boundary:
+// the per-type alert-count distributions. That is the shape the PR 5
+// drift detector exists for, and the closed-loop simulator's
+// regime-switch traffic generator (internal/sim) drives its true model
+// from these same template sets, so the offline fit and the simulated
+// live stream are two views of one parameterization.
+
+// SeasonalWeekdayDays and SeasonalWeekendDays define the weekly cycle
+// the "seasonal" registry entry fits over: 5 weekday periods followed
+// by 2 weekend periods, repeating.
+const (
+	SeasonalWeekdayDays = 5
+	SeasonalWeekendDays = 2
+)
+
+// SeasonalWeekendDay reports whether day (0-based) falls in the weekend
+// part of the weekly cycle.
+func SeasonalWeekendDay(day int) bool {
+	return day%(SeasonalWeekdayDays+SeasonalWeekendDays) >= SeasonalWeekdayDays
+}
+
+// SeasonalRegimes returns the weekday and weekend alert-type archetype
+// sets. Entries pair up index-by-index: same name, audit cost, and
+// benefit, different count model. Weekdays carry heavy interactive
+// volume with rare after-hours activity; weekends invert that —
+// skeleton staffing collapses the interactive types while after-hours
+// and remote activity spike.
+func SeasonalRegimes() (weekday, weekend []TypeTemplate) {
+	weekday = []TypeTemplate{
+		{"ward-access", dist.Spec{Kind: "gaussian", Mean: 140, Std: 30, Coverage: 0.995}, 1, 10},
+		{"records-export", dist.Spec{Kind: "gaussian", Mean: 42, Std: 12, Coverage: 0.995}, 1, 16},
+		{"after-hours", dist.Spec{Kind: "poisson", Lambda: 6, Coverage: 0.999}, 2, 20},
+		{"remote-login", dist.Spec{Kind: "gaussian", Mean: 24, Std: 8, Coverage: 0.995}, 1, 14},
+	}
+	weekend = []TypeTemplate{
+		{"ward-access", dist.Spec{Kind: "gaussian", Mean: 38, Std: 12, Coverage: 0.995}, 1, 10},
+		{"records-export", dist.Spec{Kind: "gaussian", Mean: 9, Std: 4, Coverage: 0.995}, 1, 16},
+		{"after-hours", dist.Spec{Kind: "poisson", Lambda: 20, Coverage: 0.999}, 2, 20},
+		{"remote-login", dist.Spec{Kind: "gaussian", Mean: 60, Std: 16, Coverage: 0.995}, 1, 14},
+	}
+	return weekday, weekend
+}
+
+// seasonal is the "seasonal" registry entry: the scaled generator
+// stamped from the weekday archetypes, with each template's count model
+// fitted empirically from a seeded log that follows the weekly
+// weekday/weekend cycle — the long-run mixture an offline fit over a
+// whole quarter of history would produce. All Scale knobs behave as for
+// "scaled"; Days is the length of the simulated fitting log (default
+// 84, twelve full weeks).
+type seasonal struct{}
+
+func (seasonal) Name() string { return "seasonal" }
+func (seasonal) Description() string {
+	return "bursty/seasonal workload: weekday/weekend regime-switching count models, fitted as the weekly mixture"
+}
+
+func (seasonal) Build(sc Scale) (*game.Game, game.Thresholds, error) {
+	days := sc.Days
+	if days == 0 {
+		days = 84
+	}
+	if days < 1 {
+		return nil, nil, fmt.Errorf("workload: seasonal needs a positive fitting-log length, got %d days", days)
+	}
+	weekday, weekend := SeasonalRegimes()
+	dists := make([]dist.Distribution, len(weekday))
+	for ti := range weekday {
+		d, err := fitSeasonal(weekday[ti].Spec, weekend[ti].Spec, days, sc.Seed+int64(ti)*1_000_003)
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload: seasonal template %q: %w", weekday[ti].Name, err)
+		}
+		dists[ti] = d
+	}
+	// Days already consumed by the fit above; the scaled generator must
+	// not re-fit from the resolved distributions' specs.
+	sc.Days = 0
+	return Scaled{Templates: weekday, Resolved: dists}.Build(sc)
+}
+
+// fitSeasonal draws days observations cycling through the weekly
+// weekday/weekend regimes and fits their empirical distribution — the
+// seasonal analogue of fitting F_t from an audit log that spans both
+// regimes.
+func fitSeasonal(weekday, weekend dist.Spec, days int, seed int64) (dist.Distribution, error) {
+	wd, err := dist.Shared(weekday)
+	if err != nil {
+		return nil, err
+	}
+	we, err := dist.Shared(weekend)
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	counts := make([]int, days)
+	for day := range counts {
+		if SeasonalWeekendDay(day) {
+			counts[day] = we.Sample(r)
+		} else {
+			counts[day] = wd.Sample(r)
+		}
+	}
+	return dist.Spec{Kind: "empirical", Counts: counts}.Build()
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"auditgame/internal/credit"
+	"auditgame/internal/dist"
 	"auditgame/internal/emr"
 	"auditgame/internal/game"
 	"auditgame/internal/sample"
@@ -302,5 +303,97 @@ func TestGoldenAgainstBespoke(t *testing.T) {
 	}
 	if lw, lb := quickLoss(t, cgw), quickLoss(t, cgb); lw != lb {
 		t.Fatalf("credit loss mismatch: %v vs %v", lw, lb)
+	}
+}
+
+// TestSeasonalDeterminism: the regime-mixture fit is a pure function of
+// (scale, seed) — same seed, byte-identical game; distinct seeds,
+// distinct fitted models.
+func TestSeasonalDeterminism(t *testing.T) {
+	build := func(seed int64) *game.Game {
+		g, _, err := Build("seasonal", Scale{Entities: 80, AlertTypes: 8, Victims: 6, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	g1, g2 := build(7), build(7)
+	if !reflect.DeepEqual(g1, g2) {
+		t.Fatal("same seed built different seasonal games")
+	}
+	g3 := build(8)
+	same := true
+	for i := range g1.Types {
+		if g1.Types[i].Dist.Mean() != g3.Types[i].Dist.Mean() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds fitted identical seasonal count models")
+	}
+}
+
+// TestSeasonalShape pins what the workload exists for: each fitted
+// count model is the weekly 5/2 mixture of its weekday and weekend
+// regimes, so its mean sits strictly between the two regime means, the
+// regimes pair up strategically (same names, costs, benefits), and
+// template tables are shared across stamped types.
+func TestSeasonalShape(t *testing.T) {
+	weekday, weekend := SeasonalRegimes()
+	if len(weekday) != len(weekend) {
+		t.Fatalf("regime sets differ in size: %d vs %d", len(weekday), len(weekend))
+	}
+	for i := range weekday {
+		wd, we := weekday[i], weekend[i]
+		if wd.Name != we.Name || wd.AuditCost != we.AuditCost || wd.Benefit != we.Benefit {
+			t.Fatalf("regime pair %d differs strategically: %+v vs %+v", i, wd, we)
+		}
+	}
+
+	g, seed, err := Build("seasonal", Scale{Entities: 60, AlertTypes: 9, Victims: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Entities) != 60 || g.NumTypes() != 9 || len(g.Victims) != 5 {
+		t.Fatalf("built %d entities, %d types, %d victims", len(g.Entities), g.NumTypes(), len(g.Victims))
+	}
+	if len(seed) != 9 {
+		t.Fatalf("threshold seed has %d entries", len(seed))
+	}
+	nTmpl := len(weekday)
+	if g.Types[0].Dist != g.Types[nTmpl].Dist {
+		t.Fatal("repeated template types do not share the fitted distribution")
+	}
+	for i := 0; i < nTmpl; i++ {
+		wd := specMean(t, weekday[i].Spec)
+		we := specMean(t, weekend[i].Spec)
+		lo, hi := math.Min(wd, we), math.Max(wd, we)
+		if m := g.Types[i].Dist.Mean(); m <= lo || m >= hi {
+			t.Fatalf("type %d fitted mean %v outside the regime interval (%v, %v) — not a mixture", i, m, lo, hi)
+		}
+	}
+}
+
+func specMean(t *testing.T, s dist.Spec) float64 {
+	t.Helper()
+	d, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Mean()
+}
+
+// TestSeasonalGoldenLoss pins the seeded weekly-cycle fit end to end:
+// the loss of a fixed policy on the seed-7 small build is a
+// deterministic function of the generator and must not move under
+// refactors.
+func TestSeasonalGoldenLoss(t *testing.T) {
+	g, _, err := Build("seasonal", Scale{Entities: 48, AlertTypes: 4, Victims: 6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = 450.295702576945
+	if got := quickLoss(t, g); math.Abs(got-golden) > 1e-9 {
+		t.Fatalf("seasonal golden loss = %.12f, want %.12f", got, golden)
 	}
 }
