@@ -40,7 +40,7 @@ chaos:
 
 # PR names the benchmark artifact (BENCH_$(PR).json); override it when
 # cutting a new baseline, e.g. `make bench PR=PR6`.
-PR ?= PR9
+PR ?= PR10
 
 # bench runs the detection-probability, paper-table, scaled-workload,
 # warm-refit, policy-server, drift-tracker, and closed-loop simulation
@@ -57,6 +57,7 @@ bench:
 	$(GO) test -run=NONE -bench='BenchmarkPal' -benchmem -benchtime=200x . > bench.out
 	$(GO) test -run=NONE -bench='BenchmarkServeSelect' -benchmem -benchtime=2000x . >> bench.out
 	$(GO) test -run=NONE -bench='BenchmarkTrackerObserve' -benchmem -benchtime=500000x . >> bench.out
+	$(GO) test -run=NONE -bench='BenchmarkTelemetryOverhead' -benchmem -benchtime=100000x . >> bench.out
 	$(GO) test -run=NONE -bench='BenchmarkTable' -benchmem -benchtime=1x . >> bench.out
 	$(GO) test -run=NONE -bench='BenchmarkScaledCGGS' -benchmem -benchtime=1x . >> bench.out
 	$(GO) test -run=NONE -bench='BenchmarkWarmRefit' -benchmem -benchtime=10x . >> bench.out

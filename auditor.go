@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"auditgame/internal/solver"
+	"auditgame/internal/telemetry"
 )
 
 // SolveMethod selects which algorithm an Auditor runs.
@@ -122,6 +123,11 @@ type SolveResult struct {
 	// installed as. Read it from here rather than Auditor.PolicyVersion,
 	// which may already reflect a later reload.
 	PolicyVersion uint64
+	// Trace is the solve's span timeline — pricing rounds, LP pivots,
+	// warm-start screening — recorded by the solver stack. Always set by
+	// SolveDetailed; the serve layer forwards it through the solve-job
+	// DTO.
+	Trace *SolveTrace
 }
 
 // Auditor is a deployment session: it binds a workload, a budget, and a
@@ -192,13 +198,40 @@ type Auditor struct {
 	// checkpoint writes through it, so checkpoints observe installs in
 	// version order with no interleaving.
 	installHook atomic.Pointer[func(p *Policy, version uint64)]
+
+	// metrics holds the session's telemetry counters (see SetMetrics).
+	// An atomic pointer, not a field under mu: the Select hot path loads
+	// it lock-free, and a nil pointer — the default — costs one
+	// predictable branch and nothing else.
+	metrics atomic.Pointer[SessionMetrics]
 }
 
+// SessionMetrics counts session lifecycle events on the hot paths.
+// Handles may be nil (each increment is then a no-op); the struct is
+// installed with SetMetrics. Deliberately counters only — no timing:
+// Select runs in ~500 ns, so even one clock read per call would blow
+// the < 2% instrumentation budget, while an atomic increment is ~2 ns.
+type SessionMetrics struct {
+	// Selects counts successful Select calls; SelectErrors the failed
+	// ones (no policy, shape mismatch).
+	Selects, SelectErrors *telemetry.Counter
+	// Observes counts Auditor.Observe ingests.
+	Observes *telemetry.Counter
+	// Installs counts policy installs (solve, refit, reload, restore).
+	Installs *telemetry.Counter
+}
+
+// SetMetrics installs (or, with nil, removes) the session's telemetry
+// counters. Safe to call at any time, including while serving.
+func (a *Auditor) SetMetrics(m *SessionMetrics) { a.metrics.Store(m) }
+
 // installedPolicy pairs a policy with the session version it was
-// installed as.
+// installed as and the wall-clock instant of the install — the age the
+// health endpoint reports.
 type installedPolicy struct {
 	p       *Policy
 	version uint64
+	at      time.Time
 }
 
 // NewAuditor validates the binding and creates the session. Game
@@ -306,6 +339,9 @@ func (a *Auditor) Solve(ctx context.Context) (*Policy, error) {
 }
 
 // SolveDetailed is Solve with the method-specific search accounting.
+// Every solve records a span trace (pricing rounds, master pivots,
+// warm-start screening) unless the caller already attached one to ctx;
+// the trace rides SolveResult.Trace into the serve layer's job DTO.
 func (a *Auditor) SolveDetailed(ctx context.Context) (*SolveResult, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -318,12 +354,20 @@ func (a *Auditor) SolveDetailed(ctx context.Context) (*SolveResult, error) {
 		thresholds = a.seed
 	}
 
+	tr := telemetry.FromContext(ctx)
+	if tr == nil {
+		tr = telemetry.NewTrace()
+		ctx = telemetry.WithTrace(ctx, tr)
+	}
 	res, err := a.solveOn(ctx, a.in, thresholds, nil, false)
 	if err != nil {
 		return nil, err
 	}
 	res.Policy = PolicyFrom(a.game, a.budget, res.Mixed)
+	sp := tr.StartSpan("install")
 	res.PolicyVersion = a.install(res.Policy, a.game.Dists())
+	sp.EndValue(int64(res.PolicyVersion))
+	res.Trace = tr.Data()
 	return res, nil
 }
 
@@ -436,7 +480,7 @@ func (a *Auditor) install(p *Policy, model []Distribution) uint64 {
 	if old := a.cur.Load(); old != nil {
 		v = old.version + 1
 	}
-	a.cur.Store(&installedPolicy{p: p, version: v})
+	a.cur.Store(&installedPolicy{p: p, version: v, at: time.Now()})
 	if b := a.refitBinding.Load(); b != nil && model != nil {
 		// Shape was validated at attach; installs are rare, so the
 		// tracker's per-type variance pass is off every hot path.
@@ -444,6 +488,9 @@ func (a *Auditor) install(p *Policy, model []Distribution) uint64 {
 	}
 	if h := a.installHook.Load(); h != nil {
 		(*h)(p, v)
+	}
+	if m := a.metrics.Load(); m != nil {
+		m.Installs.Inc()
 	}
 	return v
 }
@@ -487,9 +534,12 @@ func (a *Auditor) RestorePolicy(p *Policy, version uint64) error {
 	if cur := a.cur.Load(); cur != nil {
 		return fmt.Errorf("auditgame: RestorePolicy on a session already serving policy version %d", cur.version)
 	}
-	a.cur.Store(&installedPolicy{p: p, version: version})
+	a.cur.Store(&installedPolicy{p: p, version: version, at: time.Now()})
 	if b := a.refitBinding.Load(); b != nil && g != nil {
 		_ = b.tr.SetInstalled(g.Dists(), version)
+	}
+	if m := a.metrics.Load(); m != nil {
+		m.Installs.Inc()
 	}
 	return nil
 }
@@ -520,6 +570,17 @@ func (a *Auditor) CurrentPolicy() (*Policy, uint64) {
 	return c.p, c.version
 }
 
+// PolicyInstalledAt returns when the current policy was installed, or
+// the zero time before any install — the basis of the health
+// endpoint's policy-age report.
+func (a *Auditor) PolicyInstalledAt() time.Time {
+	c := a.cur.Load()
+	if c == nil {
+		return time.Time{}
+	}
+	return c.at
+}
+
 // Select runs the recourse step for one audit period against the current
 // policy: given realized per-type alert counts it samples a priority
 // ordering and picks the alerts to audit within the thresholds and
@@ -538,15 +599,27 @@ func (a *Auditor) Select(counts []int) (*AuditSelection, error) {
 func (a *Auditor) SelectVersioned(counts []int) (*AuditSelection, uint64, error) {
 	p, v := a.CurrentPolicy()
 	if p == nil {
+		if m := a.metrics.Load(); m != nil {
+			m.SelectErrors.Inc()
+		}
 		return nil, 0, fmt.Errorf("auditgame: Auditor has no policy yet; call Solve or ReloadPolicy first")
 	}
+	var sel *AuditSelection
+	var err error
 	if a.selRNG != nil {
 		a.selMu.Lock()
-		defer a.selMu.Unlock()
-		sel, err := p.Select(counts, a.selRNG)
-		return sel, v, err
+		sel, err = p.Select(counts, a.selRNG)
+		a.selMu.Unlock()
+	} else {
+		sel, err = p.SelectAuto(counts)
 	}
-	sel, err := p.SelectAuto(counts)
+	if m := a.metrics.Load(); m != nil {
+		if err != nil {
+			m.SelectErrors.Inc()
+		} else {
+			m.Selects.Inc()
+		}
+	}
 	return sel, v, err
 }
 

@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
@@ -27,6 +28,7 @@ import (
 	"auditgame/internal/sample"
 	"auditgame/internal/serve"
 	"auditgame/internal/solver"
+	"auditgame/internal/telemetry"
 	"auditgame/internal/workload"
 )
 
@@ -664,7 +666,11 @@ func BenchmarkServeSelect(b *testing.B) {
 	})
 
 	b.Run("http", func(b *testing.B) {
-		srv, err := serve.New(serve.Config{Auditor: aud, Logf: func(string, ...any) {}})
+		srv, err := serve.New(serve.Config{
+			Auditor:   aud,
+			Logger:    slog.New(slog.DiscardHandler),
+			Telemetry: telemetry.New(),
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -737,6 +743,76 @@ func BenchmarkTrackerObserve(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "observes/s")
+}
+
+// BenchmarkTelemetryOverhead pins the telemetry cost contract on the
+// serving hot path: "select" variants run the Auditor's selection path
+// bare and with SessionMetrics recording (the acceptance bound is < 2%
+// added cost), and the primitive variants price one recording operation
+// of each registry type — a few ns, allocation-free — plus the
+// structurally disabled (nil-registry) no-op.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	aud, err := auditgame.NewAuditor(auditgame.AuditorConfig{
+		Workload: "syna",
+		Budget:   10,
+		Method:   auditgame.MethodExact,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := aud.Solve(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{6, 5, 4, 4}
+	selectLoop := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := aud.Select(counts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("select/bare", selectLoop)
+
+	reg := telemetry.New()
+	aud.SetMetrics(&auditgame.SessionMetrics{
+		Selects:      reg.Counter("auditor_selects_total", "bench"),
+		SelectErrors: reg.Counter("auditor_select_errors_total", "bench"),
+		Observes:     reg.Counter("auditor_observes_total", "bench"),
+		Installs:     reg.Counter("auditor_policy_installs_total", "bench"),
+	})
+	b.Run("select/metrics", selectLoop)
+
+	b.Run("counter-inc", func(b *testing.B) {
+		c := reg.Counter("bench_counter_total", "bench")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("histogram-observe", func(b *testing.B) {
+		h := reg.Histogram("bench_seconds", "bench", telemetry.LatencyBuckets())
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i%1000) * 1e-6)
+		}
+	})
+	b.Run("gauge-set", func(b *testing.B) {
+		g := reg.Gauge("bench_gauge", "bench")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.Set(float64(i))
+		}
+	})
+	b.Run("counter-disabled", func(b *testing.B) {
+		var off *telemetry.Registry
+		c := off.Counter("bench_disabled_total", "bench")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
 }
 
 // BenchmarkPalEvaluation measures the raw cost of one detection-

@@ -5,7 +5,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -14,6 +14,7 @@ import (
 
 	"auditgame"
 	"auditgame/internal/serve"
+	"auditgame/internal/telemetry"
 )
 
 // runServe starts the long-running HTTP policy server: daily counts in
@@ -59,7 +60,15 @@ func runServe(args []string) error {
 	refitMinInterval := fs.Int("refit-min-interval", 0, "refit: min periods between drift firings (0 = window/2, <0 disables)")
 	refitCooldown := fs.Int("refit-cooldown", 0, "refit: quiet periods after an installed refit (0 = window/2, <0 disables)")
 	refitMinDelta := fs.Float64("refit-min-delta", 0.01, "refit: relative loss improvement a refit policy must exceed to install (<0 always installs)")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn, or error (debug adds per-request access logs)")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 
@@ -124,8 +133,8 @@ func runServe(args []string) error {
 		if err := a.AttachTracker(tr, auditgame.RefitOptions{MinLossDelta: *refitMinDelta}); err != nil {
 			return err
 		}
-		log.Printf("serve: drift tracking on (window %d, cadence %d, tv threshold %.2f, min delta %.3f)",
-			*refitWindow, *refitCadence, *refitThreshold, *refitMinDelta)
+		logger.Info("drift tracking on", "window", *refitWindow, "cadence", *refitCadence,
+			"tv_threshold", *refitThreshold, "min_delta", *refitMinDelta)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -135,13 +144,13 @@ func runServe(args []string) error {
 		if *workload == "" {
 			return fmt.Errorf("serve: -solve-on-start needs -workload")
 		}
-		log.Printf("serve: solving %q before listening (%s)...", *workload, *method)
+		logger.Info("solving before listening", "workload", *workload, "method", *method)
 		start := time.Now()
 		pol, err := a.Solve(ctx)
 		if err != nil {
 			return fmt.Errorf("serve: startup solve: %w", err)
 		}
-		log.Printf("serve: solved in %.1fs, expected loss %.4f", time.Since(start).Seconds(), pol.ExpectedLoss)
+		logger.Info("startup solve done", "seconds", time.Since(start).Seconds(), "loss", pol.ExpectedLoss)
 		if *policyPath != "" {
 			f, err := os.Create(*policyPath)
 			if err != nil {
@@ -154,7 +163,7 @@ func runServe(args []string) error {
 			if err := f.Close(); err != nil {
 				return err
 			}
-			log.Printf("serve: wrote %s", *policyPath)
+			logger.Info("wrote policy artifact", "path", *policyPath)
 		}
 	}
 
@@ -169,6 +178,9 @@ func runServe(args []string) error {
 		JobTTL:              *jobTTL,
 		StuckJobTimeout:     *stuckTimeout,
 		MaxBodyBytes:        *maxBody,
+		Logger:              logger,
+		Telemetry:           telemetry.New(),
+		EnablePprof:         *enablePprof,
 	})
 	if err != nil {
 		return err
@@ -178,4 +190,30 @@ func runServe(args []string) error {
 		return nil
 	}
 	return err
+}
+
+// buildLogger constructs the serve command's structured logger from the
+// -log-level and -log-format flags.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("serve: unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("serve: unknown -log-format %q (want text or json)", format)
 }

@@ -1,6 +1,20 @@
 package auditgame
 
-import "auditgame/internal/game"
+import (
+	"auditgame/internal/game"
+	"auditgame/internal/telemetry"
+)
+
+// SolveTrace is the span timeline of one solve or refit — pricing
+// rounds, master pivots, warm-start screening, the install-gate
+// verdict — as recorded by the solver stack. It rides
+// SolveResult.Trace / RefitOutcome.Trace into the serve layer's
+// solve-job DTO, so GET /v1/solve/{id} answers "where did this solve
+// spend its time".
+type SolveTrace = telemetry.TraceData
+
+// TraceSpan is one entry of a SolveTrace.
+type TraceSpan = telemetry.Span
 
 // Extensions of the paper's model (§VII future work): non-zero-sum
 // evaluation and boundedly rational (quantal response) adversaries. Both

@@ -279,6 +279,11 @@ type PointStats struct {
 // Stats maps each point with at least one rule to its counters.
 type Stats map[Point]PointStats
 
+// For returns the stats of one point; a nil Stats (plan disabled) or a
+// point without rules yields zeros, so scrape-time consumers can
+// iterate the full Points catalog unconditionally.
+func (s Stats) For(p Point) PointStats { return s[p] }
+
 // Snapshot returns the counters of the active plan, or nil when
 // disabled — what a chaos test asserts on to prove the schedule
 // actually exercised every point.

@@ -188,6 +188,15 @@ func New(numTypes int, cfg Config) (*Tracker, error) {
 // Config returns the tracker's configuration with defaults resolved.
 func (t *Tracker) Config() Config { return t.cfg }
 
+// Counters returns the tracker's lifetime detector counters — a cheap
+// scrape-time accessor for telemetry gauges that skips the per-type
+// window copies State assembles.
+func (t *Tracker) Counters() (checks, fires, installs int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.checks, t.fires, t.installs
+}
+
 // NumTypes returns the number of tracked alert types.
 func (t *Tracker) NumTypes() int { return len(t.est) }
 

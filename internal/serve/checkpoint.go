@@ -42,7 +42,7 @@ func (s *Server) restoreCheckpoint() (uint64, error) {
 		// before the server was built); the checkpoint is older by
 		// construction, so serving proceeds from the live policy and the
 		// next install overwrites the checkpoint.
-		s.logf("serve: session already serves policy version %d; skipping checkpoint restore", v)
+		s.log.Info("session already serves a policy; skipping checkpoint restore", "policy_version", v)
 		return 0, nil
 	}
 	f, err := os.Open(s.cfg.CheckpointPath)
@@ -85,7 +85,9 @@ func (s *Server) writeCheckpoint(p *auditgame.Policy, version uint64) {
 	s.restoredVersion = 0
 	s.ckptMu.Unlock()
 	if err != nil {
-		s.logf("serve: checkpoint write failed (policy version %d): %v", version, err)
+		s.log.Error("checkpoint write failed", "policy_version", version, "err", err)
+	} else {
+		s.tel.noteCheckpointWrite()
 	}
 }
 

@@ -88,6 +88,11 @@ type JobResponse struct {
 	// the incremental pricing oracle's checkpoint-hit and pruning
 	// counters. Absent for other methods and failed jobs.
 	Stats *auditgame.CGGSStats `json:"solve_stats,omitempty"`
+	// Trace is the solve's span timeline — pricing rounds with their
+	// pivot counts, warm-start screening, the refit gate decision — as
+	// recorded by the solver stack. Present on finished solve/refit
+	// jobs.
+	Trace *auditgame.SolveTrace `json:"trace,omitempty"`
 }
 
 // ObserveRequest is the body of POST /v1/observe: one audit period's
@@ -167,13 +172,19 @@ type HealthResponse struct {
 	PolicyLoaded  bool    `json:"policy_loaded"`
 	PolicyVersion uint64  `json:"policy_version"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// PolicyAgeSeconds is the time since the current policy was
+	// installed (0 when none is) — a quick staleness read next to
+	// PolicyVersion.
+	PolicyAgeSeconds float64 `json:"policy_age_seconds"`
 	// JobsRunning and JobsQueued are the solve-job table's current load
 	// against the MaxConcurrentSolves / MaxQueuedSolves bounds;
 	// JobsEvicted counts finished jobs the TTL sweep has evicted over
-	// the process lifetime.
+	// the process lifetime, and JobsReaped the stuck jobs the watchdog
+	// cancelled.
 	JobsRunning int    `json:"jobs_running"`
 	JobsQueued  int    `json:"jobs_queued"`
 	JobsEvicted uint64 `json:"jobs_evicted"`
+	JobsReaped  uint64 `json:"jobs_reaped"`
 	// RestoredFromCheckpoint reports that the serving policy was
 	// restored from the crash-safe checkpoint at startup and has not
 	// been superseded by a fresh install yet.

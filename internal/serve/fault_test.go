@@ -55,7 +55,7 @@ func TestJobTableQueueAndBackpressure(t *testing.T) {
 	if got := j2.snapshot().Status; got != jobQueued {
 		t.Fatalf("second job status %q, want %q", got, jobQueued)
 	}
-	if r, q, _ := tbl.stats(); r != 1 || q != 1 {
+	if r, q, _, _ := tbl.stats(); r != 1 || q != 1 {
 		t.Fatalf("stats running=%d queued=%d, want 1/1", r, q)
 	}
 
@@ -114,7 +114,7 @@ func TestJobTableTTLEviction(t *testing.T) {
 	if _, ok := tbl.get(j.id); ok {
 		t.Fatal("finished job survived its TTL")
 	}
-	if _, _, evicted := tbl.stats(); evicted != 1 {
+	if _, _, evicted, _ := tbl.stats(); evicted != 1 {
 		t.Fatalf("jobs_evicted = %d, want 1", evicted)
 	}
 }

@@ -24,6 +24,7 @@ const (
 type job struct {
 	id     string
 	kind   string
+	table  *jobTable
 	cancel context.CancelFunc
 	run    func() // started by the table when a concurrency slot frees
 
@@ -37,6 +38,7 @@ type job struct {
 	outcome       string
 	warm          *auditgame.WarmStats
 	stats         *auditgame.CGGSStats
+	trace         *auditgame.SolveTrace
 	created       time.Time
 	started       time.Time
 	finished      time.Time
@@ -54,6 +56,7 @@ type jobResult struct {
 	outcome       string
 	warm          *auditgame.WarmStats
 	stats         *auditgame.CGGSStats
+	trace         *auditgame.SolveTrace
 }
 
 func (j *job) snapshot() JobResponse {
@@ -80,6 +83,7 @@ func (j *job) snapshot() JobResponse {
 		Outcome:        j.outcome,
 		Warm:           j.warm,
 		Stats:          j.stats,
+		Trace:          j.trace,
 	}
 }
 
@@ -113,8 +117,8 @@ func (j *job) markStarted() bool {
 
 func (j *job) finish(r jobResult) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.status != jobQueued && j.status != jobRunning {
+		j.mu.Unlock()
 		return
 	}
 	j.status = r.status
@@ -126,10 +130,14 @@ func (j *job) finish(r jobResult) {
 	j.outcome = r.outcome
 	j.warm = r.warm
 	j.stats = r.stats
+	j.trace = r.trace
 	j.finished = time.Now()
 	if j.reaped && j.status == jobCancelled {
 		j.detail = "reaped by watchdog: exceeded the stuck-job timeout"
 	}
+	status := j.status
+	j.mu.Unlock()
+	j.table.noteFinish(j.kind, status)
 }
 
 // finishIfQueued finishes a still-queued job as cancelled — a queued job
@@ -138,14 +146,16 @@ func (j *job) finish(r jobResult) {
 // are finished by their own goroutine when the solve returns.
 func (j *job) finishIfQueued() {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.status != jobQueued {
+		j.mu.Unlock()
 		return
 	}
 	j.status = jobCancelled
 	j.err = "cancelled before starting"
 	j.failureKind = string(auditgame.FailCancelled)
 	j.finished = time.Now()
+	j.mu.Unlock()
+	j.table.noteFinish(j.kind, jobCancelled)
 }
 
 // warmStats returns the finished job's warm-start accounting, or nil.
@@ -187,6 +197,12 @@ type jobTable struct {
 	queue   []*job
 	running int
 	evicted uint64
+	reaped  uint64
+
+	// onFinish, when set, observes every job reaching a terminal status
+	// (the telemetry hook). Called outside the table and job locks; must
+	// be cheap and non-blocking.
+	onFinish func(kind, status string)
 }
 
 func newJobTable(maxConcurrent, maxQueued int, ttl, stuckAfter time.Duration) *jobTable {
@@ -220,6 +236,7 @@ func (t *jobTable) submit(kind string, cancel context.CancelFunc, run func(j *jo
 	j := &job{
 		id:      fmt.Sprintf("%s-%d", kind, t.seq),
 		kind:    kind,
+		table:   t,
 		cancel:  cancel,
 		status:  jobQueued,
 		created: time.Now(),
@@ -266,11 +283,19 @@ func (t *jobTable) get(id string) (*job, bool) {
 	return j, ok
 }
 
-// stats reports the table's load and eviction counters for /healthz.
-func (t *jobTable) stats() (running, queued int, evicted uint64) {
+// noteFinish forwards a terminal job transition to the telemetry hook.
+func (t *jobTable) noteFinish(kind, status string) {
+	if t != nil && t.onFinish != nil {
+		t.onFinish(kind, status)
+	}
+}
+
+// stats reports the table's load, eviction, and watchdog-reap counters
+// for /healthz and the telemetry gauges.
+func (t *jobTable) stats() (running, queued int, evicted, reaped uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.running, len(t.queue), t.evicted
+	return t.running, len(t.queue), t.evicted, t.reaped
 }
 
 // sweep evicts expired finished jobs and reaps stuck running ones. The
@@ -286,6 +311,7 @@ func (t *jobTable) sweep() {
 			j.mu.Lock()
 			if j.status == jobRunning && now.Sub(j.started) > t.stuckAfter {
 				j.reaped = true
+				t.reaped++
 				stuck = append(stuck, j)
 			}
 			j.mu.Unlock()

@@ -1,0 +1,366 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"auditgame"
+	"auditgame/internal/fault"
+	"auditgame/internal/telemetry"
+)
+
+// serverMetrics is the server's face on the telemetry registry: every
+// series the serving loop records into, pre-registered at construction
+// so a scrape exposes the full schema at zero before any traffic — the
+// CI smoke test greps for key series on a cold server.
+//
+// Scrape-time state (queue depth, breaker, policy age, fault-injection
+// counters) is exported through GaugeFuncs reading the structures that
+// already own it; only events that happen on a code path (requests,
+// finished jobs, drift checks, solve work) get stored counters.
+type serverMetrics struct {
+	reg      *telemetry.Registry
+	inflight *telemetry.Gauge
+	routes   map[string]*routeMetrics
+
+	// Solve work accounting, accumulated from each finished solve/refit
+	// job's CGGSStats.
+	solveRounds, solveColumns, solvePivots  *telemetry.Counter
+	solvePalEvals, solvePrefixHits          *telemetry.Counter
+	solvePruned                             *telemetry.Counter
+	refitOutcome, refitMode, jobsFinished   map[string]*telemetry.Counter
+	jobsSubmitted                           map[string]*telemetry.Counter
+	driftChecks, driftFires, refitsDropped  *telemetry.Counter
+	reloads, reloadErrors, checkpointWrites *telemetry.Counter
+}
+
+// routeMetrics is one endpoint's request accounting.
+type routeMetrics struct {
+	latency *telemetry.Histogram
+	codes   [6]*telemetry.Counter // by status class; index = status/100
+}
+
+// newServerMetrics registers the serving schema on reg and wires the
+// session counters into the Auditor's hot paths.
+func newServerMetrics(reg *telemetry.Registry, s *Server) *serverMetrics {
+	m := &serverMetrics{
+		reg:      reg,
+		routes:   make(map[string]*routeMetrics),
+		inflight: reg.Gauge("http_requests_in_flight", "HTTP requests currently being handled."),
+
+		solveRounds: reg.Counter("solve_pricing_rounds_total",
+			"Column-generation pricing rounds (restricted-master solves) across finished solve/refit jobs."),
+		solveColumns: reg.Counter("solve_columns_total",
+			"Columns in the final restricted master, summed across finished solve/refit jobs."),
+		solvePivots: reg.Counter("solve_pivots_total",
+			"Simplex pivots across finished solve/refit jobs."),
+		solvePalEvals: reg.Counter("solve_pal_evals_total",
+			"Detection-probability (Pal) evaluations across finished solve/refit jobs."),
+		solvePrefixHits: reg.Counter("solve_prefix_hits_total",
+			"Incremental pricing-oracle checkpoint hits across finished solve/refit jobs."),
+		solvePruned: reg.Counter("solve_pruned_candidates_total",
+			"Pricing candidates pruned by reduced-cost bounds across finished solve/refit jobs."),
+
+		refitOutcome:  make(map[string]*telemetry.Counter),
+		refitMode:     make(map[string]*telemetry.Counter),
+		jobsSubmitted: make(map[string]*telemetry.Counter),
+		jobsFinished:  make(map[string]*telemetry.Counter),
+
+		driftChecks: reg.Counter("drift_checks_total",
+			"Drift-detector runs triggered by POST /v1/observe."),
+		driftFires: reg.Counter("drift_fires_total",
+			"Drift-detector firings triggered by POST /v1/observe."),
+		refitsDropped: reg.Counter("refits_dropped_total",
+			"Drift firings dropped because the solve-job queue was full."),
+		reloads: reg.Counter("policy_reloads_total",
+			"Successful policy artifact reloads (mtime poll and SIGHUP)."),
+		reloadErrors: reg.Counter("policy_reload_errors_total",
+			"Failed policy artifact reload attempts (the incumbent kept serving)."),
+		checkpointWrites: reg.Counter("policy_checkpoint_writes_total",
+			"Successful crash-safe policy checkpoint writes."),
+	}
+	for _, outcome := range []string{auditgame.RefitInstalled, auditgame.RefitGated} {
+		m.refitOutcome[outcome] = reg.Counter("refit_outcome_total",
+			"Completed refit solves by install-gate outcome.", telemetry.L("outcome", outcome))
+	}
+	for _, mode := range []string{"warm", "cold"} {
+		m.refitMode[mode] = reg.Counter("refit_solve_total",
+			"Completed column-generation refit solves by warm-start mode.", telemetry.L("mode", mode))
+	}
+	for _, kind := range []string{"solve", "refit"} {
+		m.jobsSubmitted[kind] = reg.Counter("jobs_submitted_total",
+			"Async jobs accepted by the solve-job table.", telemetry.L("kind", kind))
+		for _, status := range []string{jobDone, jobError, jobCancelled} {
+			m.jobsFinished[kind+"|"+status] = reg.Counter("jobs_finished_total",
+				"Async jobs finished, by kind and terminal status.",
+				telemetry.L("kind", kind), telemetry.L("status", status))
+		}
+	}
+
+	// Scrape-time gauges over state the server already tracks.
+	reg.GaugeFunc("server_uptime_seconds", "Seconds since the server was built.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("jobs_queue_depth", "Solve jobs waiting for a concurrency slot.",
+		func() float64 { _, q, _, _ := s.jobs.stats(); return float64(q) })
+	reg.GaugeFunc("jobs_running", "Solve jobs currently executing.",
+		func() float64 { r, _, _, _ := s.jobs.stats(); return float64(r) })
+	reg.GaugeFunc("jobs_evicted_total", "Finished jobs evicted by the TTL sweep.",
+		func() float64 { _, _, e, _ := s.jobs.stats(); return float64(e) })
+	reg.GaugeFunc("jobs_reaped_total", "Stuck jobs reaped by the watchdog.",
+		func() float64 { _, _, _, r := s.jobs.stats(); return float64(r) })
+	reg.GaugeFunc("policy_version", "Version of the currently serving policy (0 = none).",
+		func() float64 { return float64(s.aud.PolicyVersion()) })
+	reg.GaugeFunc("policy_age_seconds", "Seconds since the current policy was installed (0 = none).",
+		func() float64 {
+			at := s.aud.PolicyInstalledAt()
+			if at.IsZero() {
+				return 0
+			}
+			return time.Since(at).Seconds()
+		})
+	reg.GaugeFunc("refit_breaker_open", "1 while the refit circuit breaker is rejecting refits.",
+		func() float64 {
+			if s.aud.RefitHealth().BreakerOpen {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("refit_consecutive_failures", "Refit failures since the last success.",
+		func() float64 { return float64(s.aud.RefitHealth().ConsecutiveFailures) })
+	reg.GaugeFunc("drift_tracker_checks", "Drift-detector runs over the attached tracker's lifetime.",
+		trackerGauge(s, func(c, f, i int) int { return c }))
+	reg.GaugeFunc("drift_tracker_fires", "Drift firings over the attached tracker's lifetime.",
+		trackerGauge(s, func(c, f, i int) int { return f }))
+	reg.GaugeFunc("drift_tracker_installs", "Reference-model installs over the attached tracker's lifetime.",
+		trackerGauge(s, func(c, f, i int) int { return i }))
+
+	// Fault injection: hit/fire counters per catalog point, zero while
+	// no plan is enabled — so a scrape always shows the full failure
+	// model and a chaos run lights it up.
+	reg.GaugeFunc("fault_injection_enabled", "1 while a fault-injection plan is active.",
+		func() float64 {
+			if fault.Enabled() {
+				return 1
+			}
+			return 0
+		})
+	for _, p := range fault.Points() {
+		p := p
+		reg.GaugeFunc("fault_injection_hits", "Inject calls at the point under the active plan.",
+			func() float64 { return float64(fault.Snapshot().For(p).Hits) },
+			telemetry.L("point", string(p)))
+		reg.GaugeFunc("fault_injection_fires", "Rule firings at the point under the active plan.",
+			func() float64 { return float64(fault.Snapshot().For(p).Fires) },
+			telemetry.L("point", string(p)))
+	}
+
+	// Session hot-path counters, recorded inside the Auditor itself
+	// (one atomic increment per call — no timing on the select path).
+	s.aud.SetMetrics(&auditgame.SessionMetrics{
+		Selects:      reg.Counter("auditor_selects_total", "Successful audit selections served by the session."),
+		SelectErrors: reg.Counter("auditor_select_errors_total", "Failed audit selections (no policy, bad counts)."),
+		Observes:     reg.Counter("auditor_observes_total", "Observations ingested by the session's drift tracker."),
+		Installs:     reg.Counter("auditor_policy_installs_total", "Policy installs (solve, refit, reload, restore)."),
+	})
+	return m
+}
+
+// trackerGauge adapts one of the attached tracker's lifetime counters
+// into a GaugeFunc; an unattached tracker reads 0.
+func trackerGauge(s *Server, pick func(checks, fires, installs int) int) func() float64 {
+	return func() float64 {
+		tr := s.aud.Tracker()
+		if tr == nil {
+			return 0
+		}
+		return float64(pick(tr.Counters()))
+	}
+}
+
+// route returns (creating on first use) the metrics of one endpoint,
+// keyed by its route pattern path.
+func (m *serverMetrics) route(path string) *routeMetrics {
+	if rm, ok := m.routes[path]; ok {
+		return rm
+	}
+	rm := &routeMetrics{
+		latency: m.reg.Histogram("http_request_seconds",
+			"HTTP request latency by endpoint.", telemetry.LatencyBuckets(),
+			telemetry.L("path", path)),
+	}
+	for c := 1; c <= 5; c++ {
+		rm.codes[c] = m.reg.Counter("http_requests_total",
+			"HTTP requests by endpoint and status class.",
+			telemetry.L("path", path), telemetry.L("code", statusClass(c*100)))
+	}
+	m.routes[path] = rm
+	return rm
+}
+
+// statusClass maps a status code to its class label ("2xx", ...).
+func statusClass(code int) string {
+	switch code / 100 {
+	case 1:
+		return "1xx"
+	case 2:
+		return "2xx"
+	case 3:
+		return "3xx"
+	case 4:
+		return "4xx"
+	case 5:
+		return "5xx"
+	}
+	return "other"
+}
+
+// recordSolveWork folds one finished solve/refit job's
+// column-generation accounting into the cumulative counters. Nil stats
+// (non-CGGS methods, failed jobs) record nothing.
+func (m *serverMetrics) recordSolveWork(stats *auditgame.CGGSStats, warm *auditgame.WarmStats) {
+	if m == nil || stats == nil {
+		return
+	}
+	m.solveRounds.Add(int64(stats.MasterSolves))
+	m.solveColumns.Add(int64(stats.Columns))
+	m.solvePivots.Add(int64(stats.Pivots))
+	m.solvePalEvals.Add(int64(stats.PalEvals))
+	m.solvePrefixHits.Add(int64(stats.PrefixHits))
+	m.solvePruned.Add(int64(stats.PrunedCandidates))
+	if warm != nil {
+		mode := "cold"
+		if warm.Warm {
+			mode = "warm"
+		}
+		m.refitMode[mode].Inc()
+	}
+}
+
+// recordRefitOutcome counts one completed refit by its install-gate
+// outcome.
+func (m *serverMetrics) recordRefitOutcome(outcome string) {
+	if m == nil {
+		return
+	}
+	if c, ok := m.refitOutcome[outcome]; ok {
+		c.Inc()
+	}
+}
+
+// noteJobFinished is the jobTable's finish hook.
+func (m *serverMetrics) noteJobFinished(kind, status string) {
+	if m == nil {
+		return
+	}
+	if c, ok := m.jobsFinished[kind+"|"+status]; ok {
+		c.Inc()
+	}
+}
+
+// noteJobSubmitted counts one accepted job submission.
+func (m *serverMetrics) noteJobSubmitted(kind string) {
+	if m == nil {
+		return
+	}
+	if c, ok := m.jobsSubmitted[kind]; ok {
+		c.Inc()
+	}
+}
+
+// noteDrift counts one observe decision: whether the detector ran and
+// whether it fired.
+func (m *serverMetrics) noteDrift(checked, fired bool) {
+	if m == nil {
+		return
+	}
+	if checked {
+		m.driftChecks.Inc()
+	}
+	if fired {
+		m.driftFires.Inc()
+	}
+}
+
+// noteRefitDropped counts a drift firing dropped on a full job queue.
+func (m *serverMetrics) noteRefitDropped() {
+	if m == nil {
+		return
+	}
+	m.refitsDropped.Inc()
+}
+
+// noteReload counts one artifact reload attempt by outcome.
+func (m *serverMetrics) noteReload(err error) {
+	if m == nil {
+		return
+	}
+	if err != nil {
+		m.reloadErrors.Inc()
+	} else {
+		m.reloads.Inc()
+	}
+}
+
+// noteCheckpointWrite counts one successful checkpoint write.
+func (m *serverMetrics) noteCheckpointWrite() {
+	if m == nil {
+		return
+	}
+	m.checkpointWrites.Inc()
+}
+
+// statusWriter captures the response status for the access log and the
+// per-route counters. The contain middleware wraps every request with
+// one, so route middleware and logging read a single shared capture.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// status returns the captured code, defaulting to 200 (a handler that
+// wrote nothing still answered).
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// instrument wraps one route's handler with the request-latency
+// histogram, status-class counters, and the in-flight gauge. With
+// telemetry disabled (m == nil) the handler is returned untouched —
+// uninstrumented configurations pay nothing.
+func (m *serverMetrics) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	if m == nil {
+		return h
+	}
+	rm := m.route(path)
+	return func(w http.ResponseWriter, r *http.Request) {
+		m.inflight.Inc()
+		start := time.Now()
+		h(w, r)
+		rm.latency.Observe(time.Since(start).Seconds())
+		code := http.StatusOK
+		if sw, ok := w.(*statusWriter); ok {
+			code = sw.status()
+		}
+		if c := code / 100; c >= 1 && c <= 5 {
+			rm.codes[c].Inc()
+		}
+		m.inflight.Dec()
+	}
+}

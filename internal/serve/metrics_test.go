@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"auditgame"
+	"auditgame/internal/telemetry"
+)
+
+// scrapeMetrics fetches GET /metrics and returns the exposition body.
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("metrics content type: %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// metricValue extracts the sample value of one exposition line by its
+// exact series name (including labels), or fails.
+func metricValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || name != series {
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		return f
+	}
+	t.Fatalf("series %q not in exposition:\n%s", series, body)
+	return 0
+}
+
+// TestMetricsExposition drives traffic through an instrumented server
+// and checks the scrape: the pre-registered schema is all present (the
+// CI smoke test greps for the same series on a live server), the
+// per-endpoint request accounting moved, and the session counters match
+// the traffic exactly.
+func TestMetricsExposition(t *testing.T) {
+	reg := telemetry.New()
+	_, ts := newTestServer(t, Config{Auditor: solvedAuditor(t), Telemetry: reg})
+
+	for i := 0; i < 3; i++ {
+		if resp, body := postJSON(t, ts.URL+"/v1/select", SelectRequest{Counts: []int{5, 5, 5, 5}}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("select: %d %s", resp.StatusCode, body)
+		}
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/select", SelectRequest{Counts: []int{1}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad select: %d", resp.StatusCode)
+	}
+	getJSON(t, ts.URL+"/healthz", nil)
+
+	body := scrapeMetrics(t, ts.URL)
+	for _, want := range []string{
+		"# TYPE http_request_seconds histogram",
+		`http_request_seconds_bucket{path="/v1/select",le="+Inf"}`,
+		`http_requests_total{code="2xx",path="/v1/select"} 3`,
+		`http_requests_total{code="4xx",path="/v1/select"} 1`,
+		"http_requests_in_flight",
+		"solve_pricing_rounds_total",
+		`refit_outcome_total{outcome="installed"}`,
+		`refit_outcome_total{outcome="gated"}`,
+		`jobs_submitted_total{kind="solve"}`,
+		"jobs_queue_depth",
+		"jobs_running",
+		"drift_checks_total",
+		"drift_fires_total",
+		"refit_breaker_open",
+		"policy_version 1",
+		"policy_age_seconds",
+		"server_uptime_seconds",
+		`fault_injection_hits{point="serve.handler"}`,
+		"auditor_selects_total 3",
+		"auditor_select_errors_total 1",
+		// The policy was installed before the server (and its session
+		// counters) existed, so installs start at zero here.
+		"auditor_policy_installs_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("exposition:\n%s", body)
+	}
+
+	// The select histogram observed every answered request (2xx and 4xx).
+	if n := metricValue(t, body, `http_request_seconds_count{path="/v1/select"}`); n != 4 {
+		t.Fatalf("select latency count = %v, want 4", n)
+	}
+}
+
+// TestSolveJobTraceAndWork runs a CGGS solve through /v1/solve and
+// checks that the finished job carries the solve's span timeline and
+// that the solve-work counters moved on the scrape.
+func TestSolveJobTraceAndWork(t *testing.T) {
+	a, err := auditgame.NewAuditor(auditgame.AuditorConfig{
+		Workload: "syna", Budget: 8, Method: auditgame.MethodCGGS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	_, ts := newTestServer(t, Config{Auditor: a, Telemetry: reg})
+
+	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("solve: %d %s", resp.StatusCode, body)
+	}
+	if rid := resp.Header.Get("X-Request-Id"); rid == "" {
+		t.Fatal("solve response carries no X-Request-Id")
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	jr = pollJob(t, ts.URL, jr.JobID, 60*time.Second)
+	if jr.Status != jobDone {
+		t.Fatalf("job finished as %q (%s)", jr.Status, jr.Error)
+	}
+	if jr.Trace == nil || len(jr.Trace.Spans) == 0 {
+		t.Fatalf("done solve job carries no trace: %+v", jr)
+	}
+	names := make(map[string]bool)
+	for _, sp := range jr.Trace.Spans {
+		names[sp.Name] = true
+		if sp.DurMS < 0 || sp.StartMS < 0 {
+			t.Fatalf("negative span timing: %+v", sp)
+		}
+	}
+	if !names["cggs.master"] || !names["install"] {
+		t.Fatalf("trace spans missing cggs.master/install: %v", jr.Trace.Spans)
+	}
+	if jr.Trace.TotalMS <= 0 {
+		t.Fatalf("trace total %v", jr.Trace.TotalMS)
+	}
+
+	scrape := scrapeMetrics(t, ts.URL)
+	if n := metricValue(t, scrape, "solve_pricing_rounds_total"); n <= 0 {
+		t.Fatalf("solve_pricing_rounds_total = %v after a CGGS solve", n)
+	}
+	if n := metricValue(t, scrape, `jobs_finished_total{kind="solve",status="done"}`); n != 1 {
+		t.Fatalf("jobs_finished_total solve/done = %v, want 1", n)
+	}
+	if n := metricValue(t, scrape, `jobs_submitted_total{kind="solve"}`); n != 1 {
+		t.Fatalf("jobs_submitted_total solve = %v, want 1", n)
+	}
+}
+
+// TestRequestIDHeader checks the request-id envelope: the server mints
+// an id when the client sends none and echoes a client-supplied one.
+func TestRequestIDHeader(t *testing.T) {
+	_, ts := newTestServer(t, Config{Auditor: solvedAuditor(t)})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rid := resp.Header.Get("X-Request-Id"); rid == "" {
+		t.Fatal("no X-Request-Id minted")
+	}
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "caller-7")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rid := resp.Header.Get("X-Request-Id"); rid != "caller-7" {
+		t.Fatalf("X-Request-Id = %q, want caller-7", rid)
+	}
+}
+
+// TestMetricsConcurrentWithSolve hammers selects and scrapes while a
+// live CGGS solve runs and installs a policy mid-traffic — the -race
+// check over the whole recording surface. Counter totals must come out
+// exact.
+func TestMetricsConcurrentWithSolve(t *testing.T) {
+	a, err := auditgame.NewAuditor(auditgame.AuditorConfig{
+		Workload: "syna", Budget: 8, Method: auditgame.MethodCGGS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	_, ts := newTestServer(t, Config{Auditor: a, Telemetry: reg})
+
+	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("solve: %d %s", resp.StatusCode, body)
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, perWorker = 4, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Selects 503 until the solve installs; both outcomes
+				// exercise the instrumentation.
+				resp, _ := postJSON(t, ts.URL+"/v1/select", SelectRequest{Counts: []int{5, 5, 5, 5}})
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+					t.Errorf("select: %d", resp.StatusCode)
+					return
+				}
+				if i%25 == 0 {
+					scrapeMetrics(t, ts.URL)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if jr = pollJob(t, ts.URL, jr.JobID, 60*time.Second); jr.Status != jobDone {
+		t.Fatalf("solve finished as %q (%s)", jr.Status, jr.Error)
+	}
+
+	scrape := scrapeMetrics(t, ts.URL)
+	total := metricValue(t, scrape, "auditor_selects_total") +
+		metricValue(t, scrape, "auditor_select_errors_total")
+	if total != workers*perWorker {
+		t.Fatalf("select counters sum to %v, want %d", total, workers*perWorker)
+	}
+}

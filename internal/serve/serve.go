@@ -8,6 +8,12 @@
 // session has a drift tracker attached, POST /v1/observe feeds the
 // realized counts to it, a drift firing launches a refit on the same
 // job runner, and GET /v1/drift exposes the detector state.
+//
+// With a telemetry registry attached (Config.Telemetry) the whole loop
+// is instrumented — per-endpoint latency histograms, job-table and
+// drift counters, solve-work accounting — and exposed in Prometheus
+// text format at GET /metrics; Config.EnablePprof additionally mounts
+// the net/http/pprof profiling endpoints under /debug/pprof/.
 package serve
 
 import (
@@ -16,17 +22,20 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"auditgame"
 	"auditgame/internal/fault"
+	"auditgame/internal/telemetry"
 )
 
 // Config wires a Server.
@@ -79,8 +88,21 @@ type Config struct {
 	// and 120s.
 	ReadHeaderTimeout time.Duration
 	IdleTimeout       time.Duration
-	// Logf logs serving events; nil means the standard logger.
-	Logf func(format string, args ...any)
+	// Logger receives the server's structured log records; nil means
+	// slog.Default(). Every request carries a request_id attribute
+	// (echoed as the X-Request-Id response header), and job lifecycle
+	// events carry the job_id. Per-request access logs emit at Debug.
+	Logger *slog.Logger
+	// Telemetry, when set, instruments the serving loop into the
+	// registry and mounts GET /metrics on the handler. Nil disables
+	// instrumentation entirely — the request and select paths pay
+	// nothing.
+	Telemetry *telemetry.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// handler. Off by default: profiling endpoints can stall the
+	// process (heap dumps, 30s CPU profiles) and belong behind an
+	// operator's explicit flag.
+	EnablePprof bool
 }
 
 // Server is the HTTP policy server. Create with New, mount Handler, or
@@ -88,9 +110,14 @@ type Config struct {
 type Server struct {
 	cfg   Config
 	aud   *auditgame.Auditor
-	logf  func(format string, args ...any)
+	log   *slog.Logger
+	tel   *serverMetrics
 	start time.Time
 	jobs  *jobTable
+
+	// reqSeq numbers requests for the request_id attribute when the
+	// client did not send an X-Request-Id of its own.
+	reqSeq atomic.Uint64
 
 	// reloadMu serializes artifact reloads; lastMod/lastSize fingerprint
 	// the last successfully loaded artifact.
@@ -153,13 +180,20 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		aud:     cfg.Auditor,
-		logf:    cfg.Logf,
+		log:     cfg.Logger,
 		start:   time.Now(),
 		jobs:    newJobTable(cfg.MaxConcurrentSolves, cfg.MaxQueuedSolves, cfg.JobTTL, cfg.StuckJobTimeout),
 		baseCtx: context.Background(),
 	}
-	if s.logf == nil {
-		s.logf = log.Printf
+	if s.log == nil {
+		s.log = slog.Default()
+	}
+	// Instrumentation wires before the checkpoint restore and artifact
+	// load so those startup paths already record (policy installs,
+	// reloads, checkpoint writes).
+	if cfg.Telemetry != nil {
+		s.tel = newServerMetrics(cfg.Telemetry, s)
+		s.jobs.onFinish = s.tel.noteJobFinished
 	}
 
 	// Crash recovery: restore the last-known-good checkpoint before the
@@ -171,7 +205,7 @@ func New(cfg Config) (*Server, error) {
 		switch v, err := s.restoreCheckpoint(); {
 		case err == nil && v > 0:
 			restored = true
-			s.logf("serve: restored checkpointed policy version %d from %s", v, cfg.CheckpointPath)
+			s.log.Info("restored checkpointed policy", "policy_version", v, "path", cfg.CheckpointPath)
 		case err != nil:
 			return nil, fmt.Errorf("serve: checkpoint restore: %w", err)
 		}
@@ -215,36 +249,80 @@ func New(cfg Config) (*Server, error) {
 // mux or hand to httptest.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/select", s.handleSelect)
-	mux.HandleFunc("GET /v1/policy", s.handlePolicy)
-	mux.HandleFunc("POST /v1/observe", s.handleObserve)
-	mux.HandleFunc("GET /v1/drift", s.handleDrift)
-	mux.HandleFunc("POST /v1/solve", s.handleSolve)
-	mux.HandleFunc("GET /v1/solve/{id}", s.handleJobStatus)
-	mux.HandleFunc("DELETE /v1/solve/{id}", s.handleJobCancel)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.route(mux, "POST /v1/select", "/v1/select", s.handleSelect)
+	s.route(mux, "GET /v1/policy", "/v1/policy", s.handlePolicy)
+	s.route(mux, "POST /v1/observe", "/v1/observe", s.handleObserve)
+	s.route(mux, "GET /v1/drift", "/v1/drift", s.handleDrift)
+	s.route(mux, "POST /v1/solve", "/v1/solve", s.handleSolve)
+	s.route(mux, "GET /v1/solve/{id}", "/v1/solve/{id}", s.handleJobStatus)
+	s.route(mux, "DELETE /v1/solve/{id}", "/v1/solve/{id}", s.handleJobCancel)
+	s.route(mux, "GET /healthz", "/healthz", s.handleHealth)
+	if s.cfg.Telemetry != nil {
+		mux.Handle("GET /metrics", s.cfg.Telemetry.Handler())
+	}
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s.contain(mux)
+}
+
+// route mounts one endpoint, instrumented when telemetry is attached.
+// path is the metrics label — the route pattern's path, so the
+// histogram's cardinality is the route table, not the request space.
+func (s *Server) route(mux *http.ServeMux, pattern, path string, h http.HandlerFunc) {
+	mux.HandleFunc(pattern, s.tel.instrument(path, h))
+}
+
+// logCtxKey carries the request-scoped logger (request_id attached)
+// through the request context.
+type logCtxKey struct{}
+
+// reqLog returns the request-scoped logger installed by contain, or the
+// server logger when the handler runs outside it (direct tests).
+func (s *Server) reqLog(r *http.Request) *slog.Logger {
+	if lg, ok := r.Context().Value(logCtxKey{}).(*slog.Logger); ok {
+		return lg
+	}
+	return s.log
 }
 
 // contain is the outermost request guard: the serve.handler fault point
 // plus a recover barrier, so a panicking handler answers 500 instead of
 // killing the connection (and, for panics escaping a handler goroutine,
-// the process).
+// the process). It also owns the request envelope: the status capture
+// shared with the route instrumentation, the request id (client-supplied
+// X-Request-Id or a generated sequence number, echoed back on the
+// response), the request-scoped logger, and the Debug access log.
 func (s *Server) contain(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		rid := r.Header.Get("X-Request-Id")
+		if rid == "" {
+			rid = fmt.Sprintf("r-%d", s.reqSeq.Add(1))
+		}
+		sw.Header().Set("X-Request-Id", rid)
+		lg := s.log.With("request_id", rid)
+		r = r.WithContext(context.WithValue(r.Context(), logCtxKey{}, lg))
+		start := time.Now()
 		defer func() {
 			if rec := recover(); rec != nil {
-				s.logf("serve: panic in %s %s: %v", r.Method, r.URL.Path, rec)
+				lg.Error("panic in handler", "method", r.Method, "path", r.URL.Path, "panic", rec)
 				// If the handler already wrote headers this write is a
 				// no-op on the status; the body still notes the failure.
-				writeErr(w, http.StatusInternalServerError, fmt.Errorf("internal error"))
+				writeErr(sw, http.StatusInternalServerError, fmt.Errorf("internal error"))
 			}
+			lg.Debug("request", "method", r.Method, "path", r.URL.Path,
+				"status", sw.status(), "dur_ms", float64(time.Since(start).Microseconds())/1000)
 		}()
 		if err := fault.Inject(fault.HTTPHandler); err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
+			writeErr(sw, http.StatusInternalServerError, err)
 			return
 		}
-		h.ServeHTTP(w, r)
+		h.ServeHTTP(sw, r)
 	})
 }
 
@@ -270,7 +348,7 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	s.logf("serve: listening on %s", addr)
+	s.log.Info("listening", "addr", addr)
 
 	select {
 	case err := <-errCh:
@@ -300,16 +378,17 @@ func (s *Server) watch(ctx context.Context) {
 		case <-ctx.Done():
 			return
 		case <-hup:
-			s.logf("serve: SIGHUP, reloading policy")
+			s.log.Info("SIGHUP, reloading policy")
 			if err := s.Reload(); err != nil {
-				s.logf("serve: reload failed, keeping current policy: %v", err)
+				s.log.Warn("reload failed, keeping current policy", "err", err)
 			}
 		case <-tick:
 			changed, err := s.reloadIfModified()
 			if err != nil {
-				s.logf("serve: reload failed, keeping current policy: %v", err)
+				s.log.Warn("reload failed, keeping current policy", "err", err)
 			} else if changed {
-				s.logf("serve: policy artifact changed on disk, reloaded (version %d)", s.aud.PolicyVersion())
+				s.log.Info("policy artifact changed on disk, reloaded",
+					"policy_version", s.aud.PolicyVersion())
 			}
 		}
 	}
@@ -351,6 +430,12 @@ func (s *Server) reloadIfModified() (bool, error) {
 
 // loadLocked reads and installs the artifact. Callers hold reloadMu.
 func (s *Server) loadLocked() error {
+	err := s.loadArtifactLocked()
+	s.tel.noteReload(err)
+	return err
+}
+
+func (s *Server) loadArtifactLocked() error {
 	f, err := os.Open(s.cfg.PolicyPath)
 	if err != nil {
 		return err
@@ -426,21 +511,22 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		if err := fault.Inject(fault.JobRunner); err != nil {
 			j.finish(jobResult{status: jobError, err: err.Error(), failureKind: string(auditgame.ClassifyFailure(err))})
-			s.logf("serve: solve %s failed: %v", j.id, err)
+			s.log.Warn("solve job failed", "job_id", j.id, "err", err)
 			return
 		}
 		res, err := s.aud.SolveDetailed(ctx)
 		kind := auditgame.ClassifyFailure(err)
 		switch kind {
 		case "":
-			j.finish(jobResult{status: jobDone, policyVersion: res.PolicyVersion, expectedLoss: res.Policy.ExpectedLoss, warm: res.Warm, stats: res.Stats})
-			s.logf("serve: solve %s done (loss %.4f, policy version %d)", j.id, res.Policy.ExpectedLoss, res.PolicyVersion)
+			j.finish(jobResult{status: jobDone, policyVersion: res.PolicyVersion, expectedLoss: res.Policy.ExpectedLoss, warm: res.Warm, stats: res.Stats, trace: res.Trace})
+			s.tel.recordSolveWork(res.Stats, nil)
+			s.log.Info("solve job done", "job_id", j.id, "loss", res.Policy.ExpectedLoss, "policy_version", res.PolicyVersion)
 		case auditgame.FailCancelled, auditgame.FailTimeout:
 			j.finish(jobResult{status: jobCancelled, err: err.Error(), failureKind: string(kind)})
-			s.logf("serve: solve %s cancelled: %v", j.id, err)
+			s.log.Info("solve job cancelled", "job_id", j.id, "err", err)
 		default:
 			j.finish(jobResult{status: jobError, err: err.Error(), failureKind: string(kind)})
-			s.logf("serve: solve %s failed (%s): %v", j.id, kind, err)
+			s.log.Warn("solve job failed", "job_id", j.id, "failure_kind", string(kind), "err", err)
 		}
 	})
 	if err != nil {
@@ -451,6 +537,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusTooManyRequests, err)
 		return
 	}
+	s.tel.noteJobSubmitted("solve")
+	s.reqLog(r).Info("solve job submitted", "job_id", j.id)
 	writeJSON(w, http.StatusAccepted, j.snapshot())
 }
 
@@ -486,6 +574,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, status, err)
 		return
 	}
+	s.tel.noteDrift(dec.Checked, dec.Drift)
 	resp := ObserveResponse{
 		V:       APIVersion,
 		Period:  dec.Period,
@@ -495,7 +584,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	if dec.Drift {
 		resp.RefitJobID = s.startRefit()
-		s.logf("serve: drift fired at period %d (%s), refit job %s", dec.Period, dec.Reason, resp.RefitJobID)
+		s.reqLog(r).Info("drift fired", "period", dec.Period, "reason", dec.Reason, "refit_job_id", resp.RefitJobID)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -520,35 +609,43 @@ func (s *Server) startRefit() string {
 		defer cancel()
 		if err := fault.Inject(fault.JobRunner); err != nil {
 			j.finish(jobResult{status: jobError, err: err.Error(), failureKind: string(auditgame.ClassifyFailure(err))})
-			s.logf("serve: refit %s failed: %v", j.id, err)
+			s.log.Warn("refit job failed", "job_id", j.id, "err", err)
 			return
 		}
 		out, rerr := s.aud.RefitWithRetry(ctx)
 		kind := auditgame.ClassifyFailure(rerr)
 		switch {
 		case rerr == nil && out.Installed:
-			j.finish(jobResult{status: jobDone, policyVersion: out.PolicyVersion, expectedLoss: out.NewLoss, detail: out.Reason, outcome: out.Outcome, warm: out.Warm, stats: out.Stats})
-			s.logf("serve: refit %s installed policy version %d (loss %.4f, warm=%v)", j.id, out.PolicyVersion, out.NewLoss, out.Warm != nil && out.Warm.Warm)
+			j.finish(jobResult{status: jobDone, policyVersion: out.PolicyVersion, expectedLoss: out.NewLoss, detail: out.Reason, outcome: out.Outcome, warm: out.Warm, stats: out.Stats, trace: out.Trace})
+			s.tel.recordRefitOutcome(out.Outcome)
+			s.tel.recordSolveWork(out.Stats, out.Warm)
+			s.log.Info("refit job installed policy", "job_id", j.id,
+				"policy_version", out.PolicyVersion, "loss", out.NewLoss,
+				"warm", out.Warm != nil && out.Warm.Warm)
 			s.persistCurrentPolicy()
 		case rerr == nil:
-			j.finish(jobResult{status: jobDone, expectedLoss: out.NewLoss, detail: out.Reason, outcome: out.Outcome, warm: out.Warm, stats: out.Stats})
-			s.logf("serve: refit %s kept the current policy (%s): %s", j.id, out.Outcome, out.Reason)
+			j.finish(jobResult{status: jobDone, expectedLoss: out.NewLoss, detail: out.Reason, outcome: out.Outcome, warm: out.Warm, stats: out.Stats, trace: out.Trace})
+			s.tel.recordRefitOutcome(out.Outcome)
+			s.tel.recordSolveWork(out.Stats, out.Warm)
+			s.log.Info("refit job kept the current policy", "job_id", j.id, "outcome", out.Outcome, "reason", out.Reason)
 		case errors.Is(rerr, auditgame.ErrBreakerOpen):
 			j.finish(jobResult{status: jobError, err: rerr.Error(), failureKind: string(kind), detail: "refit circuit breaker open; serving the incumbent policy"})
-			s.logf("serve: refit %s rejected: %v", j.id, rerr)
+			s.log.Warn("refit job rejected", "job_id", j.id, "err", rerr)
 		case kind == auditgame.FailCancelled, kind == auditgame.FailTimeout:
 			j.finish(jobResult{status: jobCancelled, err: rerr.Error(), failureKind: string(kind)})
-			s.logf("serve: refit %s cancelled: %v", j.id, rerr)
+			s.log.Info("refit job cancelled", "job_id", j.id, "err", rerr)
 		default:
 			j.finish(jobResult{status: jobError, err: rerr.Error(), failureKind: string(kind)})
-			s.logf("serve: refit %s failed (%s): %v", j.id, kind, rerr)
+			s.log.Warn("refit job failed", "job_id", j.id, "failure_kind", string(kind), "err", rerr)
 		}
 	})
 	if err != nil {
 		cancel()
-		s.logf("serve: drift fired but the job queue is full; refit dropped")
+		s.tel.noteRefitDropped()
+		s.log.Warn("drift fired but the job queue is full; refit dropped")
 		return ""
 	}
+	s.tel.noteJobSubmitted("refit")
 	s.refitJobID = j.id
 	return j.id
 }
@@ -573,7 +670,7 @@ func (s *Server) persistCurrentPolicy() {
 	tmp := s.cfg.PolicyPath + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		s.logf("serve: persisting refit policy: %v", err)
+		s.log.Warn("persisting refit policy failed", "err", err)
 		return
 	}
 	err = p.Save(f)
@@ -585,13 +682,13 @@ func (s *Server) persistCurrentPolicy() {
 	}
 	if err != nil {
 		os.Remove(tmp)
-		s.logf("serve: persisting refit policy: %v", err)
+		s.log.Warn("persisting refit policy failed", "err", err)
 		return
 	}
 	if fi, err := os.Stat(s.cfg.PolicyPath); err == nil {
 		s.lastMod, s.lastSize = fi.ModTime(), fi.Size()
 	}
-	s.logf("serve: refit policy (version %d) persisted to %s", version, s.cfg.PolicyPath)
+	s.log.Info("refit policy persisted", "policy_version", version, "path", s.cfg.PolicyPath)
 }
 
 // handleDrift reports the drift tracker's state.
@@ -639,7 +736,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	p, version := s.aud.CurrentPolicy()
-	running, queued, evicted := s.jobs.stats()
+	running, queued, evicted, reaped := s.jobs.stats()
 	restoredVersion, ckptErr := s.checkpointState()
 
 	resp := HealthResponse{
@@ -651,6 +748,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		JobsRunning:   running,
 		JobsQueued:    queued,
 		JobsEvicted:   evicted,
+		JobsReaped:    reaped,
+	}
+	if at := s.aud.PolicyInstalledAt(); !at.IsZero() {
+		resp.PolicyAgeSeconds = time.Since(at).Seconds()
 	}
 	if s.aud.Tracker() != nil {
 		h := s.aud.RefitHealth()
@@ -716,7 +817,7 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(body); err != nil {
 		// Headers are gone; nothing to do but note it.
-		log.Printf("serve: encoding response: %v", err)
+		slog.Default().Warn("serve: encoding response failed", "err", err)
 	}
 }
 

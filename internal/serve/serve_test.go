@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -36,8 +37,8 @@ func solvedAuditor(t *testing.T) *auditgame.Auditor {
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	if cfg.Logf == nil {
-		cfg.Logf = t.Logf
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
 	}
 	s, err := New(cfg)
 	if err != nil {
@@ -185,7 +186,7 @@ func TestInitialLoadFromArtifact(t *testing.T) {
 	if err := os.WriteFile(bad, []byte(`{"type_names":[]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(Config{Auditor: bare, PolicyPath: bad, Logf: t.Logf}); err == nil {
+	if _, err := New(Config{Auditor: bare, PolicyPath: bad, Logger: slog.New(slog.DiscardHandler)}); err == nil {
 		t.Fatal("corrupt startup artifact accepted")
 	}
 }

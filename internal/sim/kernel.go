@@ -29,6 +29,8 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+
+	"auditgame/internal/telemetry"
 )
 
 // Event is one scheduled occurrence: a virtual-time instant, a kind
@@ -81,6 +83,7 @@ type Kernel struct {
 	queue      eventHeap
 	dispatched int
 	trace      uint64
+	events     *telemetry.Counter
 }
 
 // NewKernel returns an empty kernel at virtual time 0.
@@ -108,6 +111,12 @@ func (k *Kernel) Schedule(at float64, kind string, run func()) error {
 	return nil
 }
 
+// Instrument attaches a dispatch counter that Run increments once per
+// event. The counter is outside the trace fold, so instrumented and
+// uninstrumented runs produce identical trace hashes; a nil counter
+// (telemetry disabled) costs one nil check per dispatch.
+func (k *Kernel) Instrument(events *telemetry.Counter) { k.events = events }
+
 // Run dispatches events in (time, schedule-order) until the queue is
 // empty, returning the number dispatched. Event bodies may schedule
 // further events.
@@ -118,6 +127,7 @@ func (k *Kernel) Run() int {
 		k.now = e.Time
 		k.fold(e)
 		k.dispatched++
+		k.events.Inc()
 		e.Run()
 	}
 	return k.dispatched - start

@@ -6,6 +6,7 @@ import (
 
 	"auditgame"
 	"auditgame/internal/dist"
+	"auditgame/internal/telemetry"
 	"auditgame/internal/workload"
 )
 
@@ -68,6 +69,10 @@ type Options struct {
 	Strategy Strategy
 	// BankSize overrides the scenario's realization bank when positive.
 	BankSize int
+	// Telemetry, when non-nil, receives the run's event throughput
+	// (sim_events_total, sim_periods_total). It never perturbs the
+	// deterministic trace hash.
+	Telemetry *telemetry.Registry
 }
 
 // scenarios is the ordered registry (a slice, not a map, so listings
@@ -193,6 +198,12 @@ func (scn Scenario) Run(ctx context.Context, opts Options) (*Result, error) {
 	}
 
 	kern := NewKernel()
+	kern.Instrument(opts.Telemetry.Counter(
+		"sim_events_total", "Discrete events dispatched by the simulation kernel.",
+		telemetry.L("scenario", scn.Name)))
+	periods := opts.Telemetry.Counter(
+		"sim_periods_total", "Simulated periods completed.",
+		telemetry.L("scenario", scn.Name))
 	w := &World{
 		kern:       kern,
 		traffic:    traffic,
@@ -225,7 +236,7 @@ func (scn Scenario) Run(ctx context.Context, opts Options) (*Result, error) {
 	}
 	for p := 0; p < horizon; p++ {
 		p := p
-		if err := kern.Schedule(float64(p), "period", func() { w.period(p) }); err != nil {
+		if err := kern.Schedule(float64(p), "period", func() { w.period(p); periods.Inc() }); err != nil {
 			return nil, err
 		}
 	}

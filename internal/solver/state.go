@@ -8,6 +8,7 @@ import (
 
 	"auditgame/internal/fault"
 	"auditgame/internal/game"
+	"auditgame/internal/telemetry"
 )
 
 // SolveState is a persistent column-generation solver: it owns the
@@ -153,6 +154,7 @@ func (st *SolveState) Refit(ctx context.Context, in *game.Instance, b game.Thres
 		bound = 2*st.dualScale*tvTotal + st.opts.withDefaults(in.G.NumTypes()).Eps
 	}
 
+	sp := telemetry.FromContext(ctx).StartSpan("cggs.warm_screen")
 	var active, parked []game.Ordering
 	inQ := make(map[string]bool, len(st.pool))
 	for i, o := range st.pool {
@@ -163,6 +165,7 @@ func (st *SolveState) Refit(ctx context.Context, in *game.Instance, b game.Thres
 			parked = append(parked, o)
 		}
 	}
+	sp.EndValue(int64(len(parked)))
 	if len(active) == 0 {
 		// Cannot happen with a sane pool (support columns price at 0),
 		// but never hand the master an empty column set.
@@ -186,6 +189,13 @@ func (st *SolveState) run(ctx context.Context, in *game.Instance, b game.Thresho
 	palEvals0 := in.PalEvals()
 	Q := active
 
+	// Trace spans make the solve timeline observable end to end: one
+	// "cggs.master" span (value = simplex pivots) and one "cggs.price"
+	// span (value = pool size) per pricing round, plus one-shot spans
+	// for the parked-column termination net. A nil trace (no caller
+	// attached one) records nothing.
+	tr := telemetry.FromContext(ctx)
+
 	var res *game.LPResult
 	for {
 		if err := ctx.Err(); err != nil {
@@ -195,10 +205,12 @@ func (st *SolveState) run(ctx context.Context, in *game.Instance, b game.Thresho
 			return nil, err
 		}
 		var err error
+		sp := tr.StartSpan("cggs.master")
 		res, err = in.SolveFixedWarm(Q, b, basis)
 		if err != nil {
 			return nil, err
 		}
+		sp.EndValue(int64(res.Iterations))
 		basis = res.Basis
 		stats.MasterSolves++
 		stats.Pivots += res.Iterations
@@ -214,7 +226,9 @@ func (st *SolveState) run(ctx context.Context, in *game.Instance, b game.Thresho
 		// prefix (oracle.go); a nil column means the completion bound
 		// already certifies that nothing prices below −Eps, which lands
 		// in the same termination arm as a non-improving column.
+		sp = tr.StartSpan("cggs.price")
 		partial, rc, err := greedyOrdering(in, res, b, opts, &oStats)
+		sp.EndValue(int64(len(Q)))
 		if err != nil {
 			return nil, err
 		}
@@ -255,7 +269,9 @@ func (st *SolveState) run(ctx context.Context, in *game.Instance, b game.Thresho
 		// new instance's pal cache.
 		if len(parked) > 0 {
 			st.warm.ColumnsReevaluated = len(parked)
+			psp := tr.StartSpan("cggs.parked_reprice")
 			rcs := in.ReducedCostBatch(res, parked, b)
+			psp.EndValue(int64(len(parked)))
 			keep := parked[:0]
 			pulled := false
 			for j, c := range rcs {

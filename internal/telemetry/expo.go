@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in Prometheus text-exposition
+// format 0.0.4. Output is deterministic: families sorted by name,
+// series sorted by canonical label string, histogram buckets in bound
+// order with the series labels first and `le` appended last. Stored
+// values are read atomically per sample (a scrape concurrent with
+// recording sees a consistent-enough snapshot: bucket counts may lead
+// or trail `_count` by in-flight observations, which Prometheus
+// semantics permit). GaugeFunc callbacks run outside the registry
+// lock is NOT true — they run under it, so they must not call back
+// into the registry.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		f := r.families[name]
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		escapeHelp(&b, f.help)
+		b.WriteString("\n# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.kind.String())
+		b.WriteByte('\n')
+
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			switch f.kind {
+			case kindCounter:
+				b.WriteString(f.name)
+				b.WriteString(s.labelStr)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatInt(s.c.Value(), 10))
+				b.WriteByte('\n')
+			case kindGauge, kindGaugeFunc:
+				v := s.g.Value()
+				if s.gf != nil {
+					v = s.gf()
+				}
+				b.WriteString(f.name)
+				b.WriteString(s.labelStr)
+				b.WriteByte(' ')
+				b.WriteString(formatFloat(v))
+				b.WriteByte('\n')
+			case kindHistogram:
+				writeHistogram(&b, f.name, s)
+			}
+		}
+	}
+	_, _ = io.WriteString(w, b.String())
+}
+
+// writeHistogram emits the cumulative `_bucket{...,le="..."}` series
+// followed by `_sum` and `_count`.
+func writeHistogram(b *strings.Builder, name string, s *series) {
+	h := s.h
+	cum := int64(0)
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		writeLabelsWithLE(b, s.labelStr, le)
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(cum, 10))
+		b.WriteByte('\n')
+	}
+	b.WriteString(name)
+	b.WriteString("_sum")
+	b.WriteString(s.labelStr)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(h.Sum()))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count")
+	b.WriteString(s.labelStr)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(h.Count(), 10))
+	b.WriteByte('\n')
+}
+
+// writeLabelsWithLE splices `le` after the series' own labels:
+// `{k="v"}` + le → `{k="v",le="0.5"}`, and “ + le → `{le="0.5"}`.
+func writeLabelsWithLE(b *strings.Builder, labelStr, le string) {
+	if labelStr == "" {
+		b.WriteString(`{le="`)
+		b.WriteString(le)
+		b.WriteString(`"}`)
+		return
+	}
+	b.WriteString(labelStr[:len(labelStr)-1]) // drop trailing '}'
+	b.WriteString(`,le="`)
+	b.WriteString(le)
+	b.WriteString(`"}`)
+}
+
+// escapeHelp escapes a HELP string per the exposition format: only
+// backslash and newline.
+func escapeHelp(b *strings.Builder, help string) {
+	for i := 0; i < len(help); i++ {
+		switch c := help[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+}

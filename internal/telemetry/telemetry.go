@@ -1,0 +1,456 @@
+// Package telemetry is the repo's runtime observability layer: a
+// dependency-free metrics registry (atomic counters, gauges, and
+// fixed-bucket log-spaced histograms) with Prometheus text-exposition
+// rendering, plus a per-solve trace span model (trace.go) the solver
+// stack records its phase timeline into.
+//
+// The design optimizes the recording side, not the scrape side: a
+// Counter.Inc is one atomic add, a Histogram.Observe is a short binary
+// search over its fixed bounds plus three atomic operations, and
+// neither allocates — cheap enough to sit on the policy server's
+// per-request path. Disabling telemetry is structural, not a branch: a
+// nil *Registry returns nil metric handles, and every handle method
+// no-ops on a nil receiver, so uninstrumented configurations pay one
+// predictable nil check and zero allocations.
+//
+// Rendering (WritePrometheus) takes a per-family snapshot under the
+// registry lock and emits deterministic output: families sorted by
+// name, series sorted by their canonical label string — so the
+// exposition format is golden-testable byte for byte (given fixed
+// metric values).
+//
+// Naming note: the sibling internal/metrics package is the paper's
+// *evaluation* math (optimality ratios γ, exploration ratios) and is
+// unrelated; this package is deliberately named telemetry to keep the
+// two apart.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value pair on a metric series. Series identity is
+// the metric name plus the sorted label set; the same (name, labels)
+// always returns the same handle.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing value. All methods are safe
+// for concurrent use and no-op on a nil receiver.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. Negative n is ignored — counters only go up.
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down, stored as float64 bits.
+// All methods are safe for concurrent use and no-op on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta (CAS loop; contended adds retry).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Inc adds 1; Dec subtracts 1.
+func (g *Gauge) Inc() { g.Add(1) }
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: observations are counted into
+// the first bucket whose upper bound is ≥ the value (Prometheus "le"
+// semantics), with one implicit +Inf overflow bucket, plus a running
+// count and sum. Observe is allocation-free: a binary search over the
+// fixed bounds and three atomic operations. NaN observations are
+// dropped. All methods are safe for concurrent use and no-op on a nil
+// receiver.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sum     atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// Binary search for the first bound ≥ v; falls off the end into the
+	// +Inf bucket.
+	i, j := 0, len(h.bounds)
+	for i < j {
+		m := int(uint(i+j) >> 1)
+		if v > h.bounds[m] {
+			i = m + 1
+		} else {
+			j = m
+		}
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// ExpBuckets returns n log-spaced upper bounds start, start·factor,
+// start·factor², … — the general fixed-bucket layout constructor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("telemetry: ExpBuckets(%v, %v, %d): need start > 0, factor > 1, n ≥ 1", start, factor, n))
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// LatencyBuckets is the standard request-latency layout: powers of two
+// from ~1µs (2⁻²⁰ s) to ~8.4 s (2³ s), 24 buckets. Power-of-two
+// spacing keeps the bounds exactly representable, so bucket boundaries
+// never smear under float formatting.
+func LatencyBuckets() []float64 {
+	b := make([]float64, 24)
+	for i := range b {
+		b[i] = math.Ldexp(1, i-20) // 2^(i-20)
+	}
+	return b
+}
+
+// metricKind discriminates the families a registry holds.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one label combination inside a family, holding exactly one
+// of the value kinds.
+type series struct {
+	labelStr string // canonical rendered label set, "" for no labels
+	c        *Counter
+	g        *Gauge
+	gf       func() float64
+	h        *Histogram
+}
+
+// family groups every series of one metric name.
+type family struct {
+	name, help string
+	kind       metricKind
+	bounds     []float64 // histogram families only
+	series     map[string]*series
+}
+
+// Registry holds metric families and renders them. A nil *Registry is
+// the disabled configuration: every constructor returns a nil handle
+// and every handle method no-ops. All methods are safe for concurrent
+// use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter named name with the given labels,
+// creating it on first use. Calling again with the same name and
+// labels returns the same handle. Panics on an invalid name or a kind
+// collision — metric registration is programmer-controlled startup
+// code, where failing loudly beats serving half a scrape.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.seriesFor(kindCounter, name, help, nil, labels)
+	return s.c
+}
+
+// Gauge returns the gauge named name with the given labels, creating
+// it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.seriesFor(kindGauge, name, help, nil, labels)
+	return s.g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time — for state that already lives elsewhere (queue depths, breaker
+// state, fault-injection counters) and would be racy or redundant to
+// mirror into a stored gauge. fn must be safe to call concurrently
+// with anything. Re-registering the same (name, labels) replaces fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		panic(fmt.Sprintf("telemetry: GaugeFunc %q needs a function", name))
+	}
+	s := r.seriesFor(kindGaugeFunc, name, help, nil, labels)
+	r.mu.Lock()
+	s.gf = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram named name with the given labels and
+// upper bounds, creating it on first use. Bounds must be strictly
+// increasing; every series of one family shares the family's bounds
+// (the bounds of the first registration win, and a later mismatch
+// panics).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("telemetry: histogram %q needs at least one bucket bound", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds must be strictly increasing, got %v", name, bounds))
+		}
+	}
+	s := r.seriesFor(kindHistogram, name, help, bounds, labels)
+	return s.h
+}
+
+// seriesFor is the shared get-or-create body.
+func (r *Registry) seriesFor(kind metricKind, name, help string, bounds []float64, labels []Label) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Key) || l.Key == "le" {
+			panic(fmt.Sprintf("telemetry: invalid label key %q on metric %q", l.Key, name))
+		}
+	}
+	ls := labelString(labels)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		if kind == kindHistogram {
+			f.bounds = append([]float64(nil), bounds...)
+		}
+		r.families[name] = f
+	}
+	if f.kind != kind && !(f.kind == kindGauge && kind == kindGaugeFunc) && !(f.kind == kindGaugeFunc && kind == kindGauge) {
+		panic(fmt.Sprintf("telemetry: metric %q already registered as a %s, requested as a %s", name, f.kind, kind))
+	}
+	if kind == kindHistogram && !equalBounds(f.bounds, bounds) {
+		panic(fmt.Sprintf("telemetry: histogram %q already registered with bounds %v, requested %v", name, f.bounds, bounds))
+	}
+	s := f.series[ls]
+	if s == nil {
+		s = &series{labelStr: ls}
+		switch kind {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge, kindGaugeFunc:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = &Histogram{bounds: f.bounds, buckets: make([]atomic.Int64, len(f.bounds)+1)}
+		}
+		f.series[ls] = s
+	}
+	if s.g == nil && (kind == kindGauge || kind == kindGaugeFunc) {
+		s.g = &Gauge{}
+	}
+	return s
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// validName checks the Prometheus metric/label name grammar.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// labelString renders a label set canonically: keys sorted, values
+// escaped, `{k="v",k2="v2"}` — or "" for no labels. It is the series
+// identity inside a family and the exact text the exposition emits.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		escapeLabelValue(&b, l.Value)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(b *strings.Builder, v string) {
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// formatFloat renders a sample value the Prometheus way.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the text exposition — the
+// body behind GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var b strings.Builder
+		r.WritePrometheus(&b)
+		_, _ = w.Write([]byte(b.String()))
+	})
+}

@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("requests_total", "Total requests.")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("requests_total", "Total requests."); again != c {
+		t.Fatal("get-or-create returned a different handle for the same series")
+	}
+	if other := r.Counter("requests_total", "Total requests.", L("path", "/x")); other == c {
+		t.Fatal("different label set must be a different series")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := New()
+	g := r.Gauge("depth", "Queue depth.")
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	g.Add(0.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("gauge = %v, want 3.5", got)
+	}
+}
+
+func TestHistogramBucketMapping(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat", "Latency.", []float64{1, 2, 4})
+	// Exactly on a bound lands in that bound's bucket (le semantics),
+	// above every bound lands in +Inf.
+	for _, v := range []float64{0.5, 1, 1.5, 2, 4, 100} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	want := []int64{2, 2, 1, 1}
+	for i, w := range want {
+		if got := h.buckets[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 109 {
+		t.Fatalf("sum = %v, want 109", h.Sum())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 2, 4)
+	want := []float64{1e-6, 2e-6, 4e-6, 8e-6}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	lb := LatencyBuckets()
+	if len(lb) != 24 || lb[0] != math.Ldexp(1, -20) || lb[23] != 8 {
+		t.Fatalf("LatencyBuckets shape wrong: len=%d first=%v last=%v", len(lb), lb[0], lb[23])
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("x_total", "X.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x_total as a gauge should panic")
+		}
+	}()
+	r.Gauge("x_total", "X.")
+}
+
+func TestHistogramBoundsMismatchPanics(t *testing.T) {
+	r := New()
+	r.Histogram("h", "H.", []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering h with different bounds should panic")
+		}
+	}()
+	r.Histogram("h", "H.", []float64{1, 3})
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := New()
+	for _, bad := range []string{"", "1abc", "a-b", "a b"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("name %q should panic", bad)
+				}
+			}()
+			r.Counter(bad, "bad")
+		}()
+	}
+}
+
+// TestPrometheusGolden pins the full exposition byte for byte:
+// family ordering, label canonicalization, escaping, histogram
+// cumulative buckets with le spliced last.
+func TestPrometheusGolden(t *testing.T) {
+	r := New()
+	c := r.Counter("http_requests_total", "Total HTTP requests.", L("path", "/v1/select"), L("code", "2xx"))
+	c.Add(7)
+	r.Counter("http_requests_total", "Total HTTP requests.", L("path", "/healthz"), L("code", "2xx")).Inc()
+	g := r.Gauge("jobs_queue_depth", "Queued solve jobs.")
+	g.Set(3)
+	r.GaugeFunc("uptime_seconds", "Process uptime.", func() float64 { return 12.5 })
+	h := r.Histogram("solve_seconds", "Solve wall time.", []float64{0.5, 2}, L("mode", `wa"rm`))
+	h.Observe(0.25)
+	h.Observe(0.5)
+	h.Observe(9)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	want := `# HELP http_requests_total Total HTTP requests.
+# TYPE http_requests_total counter
+http_requests_total{code="2xx",path="/healthz"} 1
+http_requests_total{code="2xx",path="/v1/select"} 7
+# HELP jobs_queue_depth Queued solve jobs.
+# TYPE jobs_queue_depth gauge
+jobs_queue_depth 3
+# HELP solve_seconds Solve wall time.
+# TYPE solve_seconds histogram
+solve_seconds_bucket{mode="wa\"rm",le="0.5"} 2
+solve_seconds_bucket{mode="wa\"rm",le="2"} 2
+solve_seconds_bucket{mode="wa\"rm",le="+Inf"} 3
+solve_seconds_sum{mode="wa\"rm"} 9.75
+solve_seconds_count{mode="wa\"rm"} 3
+# HELP uptime_seconds Process uptime.
+# TYPE uptime_seconds gauge
+uptime_seconds 12.5
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestConcurrentHammer exercises counters, gauges, and histogram
+// recording from many goroutines with concurrent scrapes; run under
+// -race it is the data-race proof, and the final totals must be exact.
+func TestConcurrentHammer(t *testing.T) {
+	r := New()
+	c := r.Counter("hits_total", "Hits.")
+	g := r.Gauge("inflight", "In flight.")
+	h := r.Histogram("lat", "Latency.", LatencyBuckets())
+
+	const workers, iters = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%100) * 1e-5)
+				g.Add(-1)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			r.WritePrometheus(&b)
+			if !strings.Contains(b.String(), "hits_total") {
+				t.Error("scrape lost hits_total")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got := c.Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %v, want 0", got)
+	}
+}
+
+// TestDisabledRegistryZeroAlloc pins the disabled configuration: a nil
+// registry hands out nil handles, and recording through them must not
+// allocate — this is what keeps telemetry free for callers that never
+// enable it.
+func TestDisabledRegistryZeroAlloc(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "X.")
+	g := r.Gauge("y", "Y.")
+	h := r.Histogram("z", "Z.", []float64{1})
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil handles")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		g.Add(2)
+		h.Observe(0.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled recording allocated %v per run, want 0", allocs)
+	}
+}
+
+// TestEnabledRecordingZeroAlloc pins the hot-path budget: recording
+// into live handles is allocation-free too.
+func TestEnabledRecordingZeroAlloc(t *testing.T) {
+	r := New()
+	c := r.Counter("x_total", "X.")
+	h := r.Histogram("z", "Z.", LatencyBuckets())
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(123e-6)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled recording allocated %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span is one completed phase inside a solve: a name, an offset from
+// the trace start, a duration, and an optional integer value (pivot
+// count, columns priced, gate verdict). Offsets are monotonic-clock
+// relative, so spans from concurrent phases interleave consistently.
+type Span struct {
+	Name    string  `json:"name"`
+	StartMS float64 `json:"start_ms"`
+	DurMS   float64 `json:"dur_ms"`
+	Value   int64   `json:"value,omitempty"`
+}
+
+// TraceData is the exported, JSON-ready form of a finished trace — the
+// payload that rides SolveResult/RefitOutcome into the solve-job DTO.
+type TraceData struct {
+	Spans   []Span  `json:"spans"`
+	Dropped int     `json:"dropped_spans,omitempty"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+// defaultSpanCap bounds a trace's span slice. CGGS records two spans
+// per pricing round and ISHM funnels every inner solve through the
+// same context, so a pathological solve could otherwise accumulate
+// unbounded spans; past the cap, spans are counted as dropped instead
+// of stored.
+const defaultSpanCap = 512
+
+// Trace accumulates spans for one solve. Recording is mutex-guarded —
+// traces live on the solve path (milliseconds per phase), not the
+// select path, so a lock is fine. A nil *Trace no-ops everywhere,
+// which is how untraced solve entry points stay free.
+type Trace struct {
+	start time.Time
+
+	mu      sync.Mutex
+	spans   []Span
+	dropped int
+}
+
+// NewTrace starts an empty trace anchored at now.
+func NewTrace() *Trace {
+	return &Trace{start: time.Now()}
+}
+
+// SpanHandle is an in-flight span. It is a value type: StartSpan and
+// End allocate nothing until the span is committed to the trace.
+type SpanHandle struct {
+	t     *Trace
+	name  string
+	since time.Duration
+}
+
+// StartSpan opens a span; close it with End or EndValue. Safe on a nil
+// trace.
+func (t *Trace) StartSpan(name string) SpanHandle {
+	if t == nil {
+		return SpanHandle{}
+	}
+	return SpanHandle{t: t, name: name, since: time.Since(t.start)}
+}
+
+// End closes the span with no value.
+func (s SpanHandle) End() { s.EndValue(0) }
+
+// EndValue closes the span, attaching v (e.g. LP pivots this round).
+func (s SpanHandle) EndValue(v int64) {
+	if s.t == nil {
+		return
+	}
+	end := time.Since(s.t.start)
+	s.t.mu.Lock()
+	if len(s.t.spans) >= defaultSpanCap {
+		s.t.dropped++
+	} else {
+		s.t.spans = append(s.t.spans, Span{
+			Name:    s.name,
+			StartMS: float64(s.since) / float64(time.Millisecond),
+			DurMS:   float64(end-s.since) / float64(time.Millisecond),
+			Value:   v,
+		})
+	}
+	s.t.mu.Unlock()
+}
+
+// Add records an instantaneous span (zero duration) at the current
+// offset — for point events like a gate decision.
+func (t *Trace) Add(name string, v int64) {
+	if t == nil {
+		return
+	}
+	t.StartSpan(name).EndValue(v)
+}
+
+// Data snapshots the trace into its exported form. The trace remains
+// usable after Data; TotalMS is the time since the trace started.
+func (t *Trace) Data() *TraceData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := append([]Span(nil), t.spans...)
+	dropped := t.dropped
+	t.mu.Unlock()
+	return &TraceData{
+		Spans:   spans,
+		Dropped: dropped,
+		TotalMS: float64(time.Since(t.start)) / float64(time.Millisecond),
+	}
+}
+
+type traceCtxKey struct{}
+
+// WithTrace attaches a trace to a context; the solver stack picks it
+// up with FromContext at each phase boundary.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, t)
+}
+
+// FromContext returns the attached trace, or nil (which every Trace
+// method tolerates).
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return t
+}

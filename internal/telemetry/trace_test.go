@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace()
+	sp := tr.StartSpan("cggs.master")
+	time.Sleep(time.Millisecond)
+	sp.EndValue(42)
+	tr.Add("gate", 1)
+
+	d := tr.Data()
+	if len(d.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(d.Spans))
+	}
+	m := d.Spans[0]
+	if m.Name != "cggs.master" || m.Value != 42 {
+		t.Fatalf("span 0 = %+v", m)
+	}
+	if m.DurMS <= 0 {
+		t.Fatalf("span duration = %v, want > 0", m.DurMS)
+	}
+	if d.Spans[1].StartMS < m.StartMS {
+		t.Fatal("span offsets must be monotone in record order for sequential spans")
+	}
+	if d.TotalMS < m.DurMS {
+		t.Fatalf("total %v < span %v", d.TotalMS, m.DurMS)
+	}
+}
+
+func TestTraceSpanCap(t *testing.T) {
+	tr := NewTrace()
+	for i := 0; i < defaultSpanCap+25; i++ {
+		tr.Add("s", int64(i))
+	}
+	d := tr.Data()
+	if len(d.Spans) != defaultSpanCap {
+		t.Fatalf("spans = %d, want cap %d", len(d.Spans), defaultSpanCap)
+	}
+	if d.Dropped != 25 {
+		t.Fatalf("dropped = %d, want 25", d.Dropped)
+	}
+}
+
+func TestNilTraceNoops(t *testing.T) {
+	var tr *Trace
+	sp := tr.StartSpan("x")
+	sp.EndValue(1)
+	tr.Add("y", 2)
+	if tr.Data() != nil {
+		t.Fatal("nil trace Data must be nil")
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		tr.StartSpan("x").End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-trace span allocated %v per run, want 0", allocs)
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context must yield nil trace")
+	}
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("context round-trip lost the trace")
+	}
+}
+
+// TestTraceConcurrent mirrors ISHM's shape: many inner solves
+// recording spans into one shared trace. Run under -race.
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.StartSpan("inner").EndValue(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	d := tr.Data()
+	if len(d.Spans)+d.Dropped != 8*200 {
+		t.Fatalf("spans+dropped = %d, want %d", len(d.Spans)+d.Dropped, 8*200)
+	}
+}

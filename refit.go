@@ -10,6 +10,7 @@ import (
 
 	"auditgame/internal/fault"
 	"auditgame/internal/refit"
+	"auditgame/internal/telemetry"
 )
 
 // Streaming refit: the online answer to the paper's known-F_t
@@ -228,6 +229,9 @@ type RefitOutcome struct {
 	// pivots, pal evaluations, and the incremental pricing oracle's
 	// checkpoint-hit and pruning counters.
 	Stats *CGGSStats `json:"solve_stats,omitempty"`
+	// Trace is the refit's span timeline — snapshot, model rebuild,
+	// solve phases, gate decision — as recorded by the solver stack.
+	Trace *SolveTrace `json:"trace,omitempty"`
 }
 
 // trackerBinding pairs the attached tracker with its options in one
@@ -298,6 +302,9 @@ func (a *Auditor) Observe(counts []int) (DriftDecision, error) {
 	if err != nil {
 		return dec, err
 	}
+	if m := a.metrics.Load(); m != nil {
+		m.Observes.Inc()
+	}
 	if dec.Drift && b.opts.AutoRefit && !a.refitting.Load() {
 		go func() {
 			out, rerr := a.Refit(b.opts.Context)
@@ -331,7 +338,18 @@ func (a *Auditor) Refit(ctx context.Context) (*RefitOutcome, error) {
 	}
 	defer a.refitting.Store(false)
 
+	// The refit records the same span trace a solve does — snapshot,
+	// model rebuild, solve, gate — reusing a caller-attached trace so
+	// the serve layer's refit jobs get one coherent timeline.
+	tr := telemetry.FromContext(ctx)
+	if tr == nil {
+		tr = telemetry.NewTrace()
+		ctx = telemetry.WithTrace(ctx, tr)
+	}
+
+	sp := tr.StartSpan("refit.snapshot")
 	specs, err := b.tr.Snapshot()
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -351,6 +369,7 @@ func (a *Auditor) Refit(ctx context.Context) (*RefitOutcome, error) {
 		return nil, fmt.Errorf("auditgame: refit snapshot has %d types, game has %d", len(specs), len(a.game.Types))
 	}
 
+	sp = tr.StartSpan("refit.model")
 	// The refit game is the bound game with the count model replaced by
 	// the window snapshot; everything strategic (entities, attacks,
 	// costs) is unchanged.
@@ -370,6 +389,7 @@ func (a *Auditor) Refit(ctx context.Context) (*RefitOutcome, error) {
 		newDists[i] = d
 	}
 	nin, err := NewInstance(&ng, a.budget, a.cfg.Source)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -399,6 +419,7 @@ func (a *Auditor) Refit(ctx context.Context) (*RefitOutcome, error) {
 	// restricted-master bound that can understate the candidate's true
 	// loss, so comparing it against the incumbent's Loss would bias the
 	// gate toward installing.
+	sp = tr.StartSpan("refit.gate")
 	out := &RefitOutcome{NewLoss: Loss(nin, res.Mixed), Warm: res.Warm, Stats: res.Stats}
 	install := true
 	if cur, _ := a.CurrentPolicy(); cur != nil {
@@ -410,6 +431,11 @@ func (a *Auditor) Refit(ctx context.Context) (*RefitOutcome, error) {
 			out.Reason = fmt.Sprintf("policy moved too little: relative improvement %.4f ≤ gate %.4f", out.Improvement, gate)
 		}
 	}
+	gateVerdict := int64(0)
+	if install {
+		gateVerdict = 1
+	}
+	sp.EndValue(gateVerdict)
 	if install {
 		p := PolicyFrom(&ng, a.budget, res.Mixed)
 		a.game = &ng
@@ -420,12 +446,15 @@ func (a *Auditor) Refit(ctx context.Context) (*RefitOutcome, error) {
 		// the same critical section, so a concurrent hot reload can
 		// never interleave between the policy swap and the reference
 		// reset.
+		isp := tr.StartSpan("install")
 		v := a.install(p, newDists)
+		isp.EndValue(int64(v))
 		out.Outcome = RefitInstalled
 		out.Installed = true
 		out.PolicyVersion = v
 		out.Reason = fmt.Sprintf("installed as version %d: loss %.4f → %.4f under the refit model", v, out.OldLoss, out.NewLoss)
 	}
+	out.Trace = tr.Data()
 	return out, nil
 }
 

@@ -1,0 +1,137 @@
+package auditgame_test
+
+import (
+	"context"
+	"testing"
+
+	"auditgame"
+	"auditgame/internal/telemetry"
+)
+
+// spanNames collects a trace's span names into a set.
+func spanNames(tr *auditgame.SolveTrace) map[string]bool {
+	names := make(map[string]bool)
+	for _, sp := range tr.Spans {
+		names[sp.Name] = true
+	}
+	return names
+}
+
+// TestSolveResultCarriesTrace checks that a detailed solve records its
+// span timeline: a CGGS solve shows the pricing rounds, every solve
+// shows the install.
+func TestSolveResultCarriesTrace(t *testing.T) {
+	a, err := auditgame.NewAuditor(auditgame.AuditorConfig{
+		Workload: "syna", Budget: 8, Method: auditgame.MethodCGGS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.SolveDetailed(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || len(res.Trace.Spans) == 0 {
+		t.Fatalf("SolveDetailed returned no trace: %+v", res)
+	}
+	names := spanNames(res.Trace)
+	if !names["cggs.master"] || !names["install"] {
+		t.Fatalf("trace spans = %v, want cggs.master and install", res.Trace.Spans)
+	}
+	for _, sp := range res.Trace.Spans {
+		if sp.StartMS < 0 || sp.DurMS < 0 {
+			t.Fatalf("negative span timing: %+v", sp)
+		}
+	}
+	if res.Trace.TotalMS <= 0 {
+		t.Fatalf("trace total_ms = %v", res.Trace.TotalMS)
+	}
+
+	// A caller-attached trace is reused, so an orchestration layer (the
+	// serve job runner) gets one coherent timeline.
+	tr := telemetry.NewTrace()
+	ctx := telemetry.WithTrace(context.Background(), tr)
+	res2, err := a.SolveDetailed(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Data().Spans); got == 0 || got != len(res2.Trace.Spans) {
+		t.Fatalf("caller trace has %d spans, result has %d", got, len(res2.Trace.Spans))
+	}
+}
+
+// TestRefitOutcomeCarriesTrace drives drift until a refit runs and
+// checks its trace: snapshot, model rebuild, and the gate verdict span.
+func TestRefitOutcomeCarriesTrace(t *testing.T) {
+	a := refitAuditor(t)
+	if _, err := a.Solve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := auditgame.NewTracker(2, auditgame.TrackerConfig{Window: 10, MinInterval: -1, Cooldown: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AttachTracker(tr, auditgame.RefitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !driftUntilFire(t, a, []float64{15, 9}, 60, 11) {
+		t.Fatal("drift never fired on a tripled workload")
+	}
+	out, err := a.Refit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace == nil || len(out.Trace.Spans) == 0 {
+		t.Fatalf("refit outcome carries no trace: %+v", out)
+	}
+	names := spanNames(out.Trace)
+	for _, want := range []string{"refit.snapshot", "refit.model", "refit.gate", "install"} {
+		if !names[want] {
+			t.Fatalf("refit trace spans = %v, missing %q", out.Trace.Spans, want)
+		}
+	}
+	// The gate span's value records the verdict: 1 = installed.
+	for _, sp := range out.Trace.Spans {
+		if sp.Name == "refit.gate" && sp.Value != 1 {
+			t.Fatalf("refit.gate value = %d, want 1 (installed)", sp.Value)
+		}
+	}
+}
+
+// TestSelectMetricsAddNoAllocs pins the telemetry cost contract on the
+// session hot path: attaching SessionMetrics must not add a single
+// allocation to Select (the counters are atomic increments), and a
+// session without metrics is identical to the pre-telemetry baseline.
+func TestSelectMetricsAddNoAllocs(t *testing.T) {
+	a, err := auditgame.NewAuditor(auditgame.AuditorConfig{
+		Workload: "syna", Budget: 8, Method: auditgame.MethodExact,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Solve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	counts := []int{5, 5, 5, 5}
+	sel := func() {
+		if _, err := a.Select(counts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := testing.AllocsPerRun(200, sel)
+
+	reg := telemetry.New()
+	a.SetMetrics(&auditgame.SessionMetrics{
+		Selects:      reg.Counter("auditor_selects_total", "test"),
+		SelectErrors: reg.Counter("auditor_select_errors_total", "test"),
+		Observes:     reg.Counter("auditor_observes_total", "test"),
+		Installs:     reg.Counter("auditor_policy_installs_total", "test"),
+	})
+	with := testing.AllocsPerRun(200, sel)
+	if with > base {
+		t.Fatalf("Select allocs went from %v to %v with metrics attached", base, with)
+	}
+	if got := reg.Counter("auditor_selects_total", "test").Value(); got < 200 {
+		t.Fatalf("selects counter = %d after the alloc runs, want >= 200", got)
+	}
+}
